@@ -1,0 +1,764 @@
+//! **async-(k)** — the paper's block-asynchronous iteration
+//! (§3.3, Algorithm 1, Eq. 4).
+//!
+//! The system's rows are partitioned into blocks ("subdomains", one per
+//! GPU thread block). Each block update:
+//!
+//! 1. reads the shared iterate (possibly mid-flight values written by
+//!    other blocks — the asynchronous outer loop),
+//! 2. freezes the off-block contribution
+//!    `s_i = b_i - sum_{j outside block} a_ij x_j`,
+//! 3. performs `k` synchronous Jacobi sweeps *within* the block using the
+//!    frozen off-block part,
+//! 4. publishes the block's new values.
+//!
+//! With `k = 1` this is the paper's `async-(1)` basic asynchronous
+//! iteration; `k = 5` is the `async-(5)` used throughout its evaluation.
+//! The executor (from `abr-gpu`) decides the interleaving: the seeded
+//! discrete-event simulator for reproducible experiments, or real threads
+//! for genuine hardware chaos.
+
+use crate::convergence::{check_system, relative_residual, SolveOptions, SolveResult};
+use abr_gpu::kernel::AllowAll;
+use abr_gpu::schedule::BlockSchedule;
+use abr_gpu::{
+    BlockKernel, RandomPermutation, RecurringPattern, RoundRobin, SimExecutor, SimOptions,
+    ThreadedExecutor, ThreadedOptions, UpdateFilter, XView,
+};
+use abr_sparse::{CsrMatrix, Result, RowPartition};
+
+/// Which block-dispatch schedule the solver uses (see
+/// [`abr_gpu::schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Blocks in index order every round.
+    RoundRobin,
+    /// Fresh seeded shuffle every round.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// One seeded shuffle reused every round (the paper's inferred GPU
+    /// behaviour).
+    Recurring {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl ScheduleKind {
+    fn build(&self) -> Box<dyn BlockSchedule> {
+        match *self {
+            ScheduleKind::RoundRobin => Box::new(RoundRobin),
+            ScheduleKind::Random { seed } => Box::new(RandomPermutation::new(seed)),
+            ScheduleKind::Recurring { seed } => Box::new(RecurringPattern::new(seed)),
+        }
+    }
+}
+
+/// The inner (subdomain) sweep type. Algorithm 1 of the paper uses
+/// Jacobi sweeps; its reference for the idea — Bai, Migallón, Penadés,
+/// Szyld, *Block and asynchronous two-stage methods* — allows any inner
+/// solver, and Gauss-Seidel is the natural stronger choice (free on a
+/// single SM where the block is processed by cooperating threads anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalSweep {
+    /// Jacobi sweeps on the subdomain (the paper's Algorithm 1).
+    #[default]
+    Jacobi,
+    /// Gauss-Seidel sweeps on the subdomain (two-stage variant).
+    GaussSeidel,
+}
+
+/// Which execution fabric runs the blocks.
+#[derive(Debug, Clone)]
+pub enum ExecutorKind {
+    /// Seeded discrete-event simulation (reproducible).
+    Sim(SimOptions),
+    /// Real OS threads over an atomic shared vector (non-deterministic).
+    Threaded(ThreadedOptions),
+}
+
+impl Default for ExecutorKind {
+    fn default() -> Self {
+        ExecutorKind::Sim(SimOptions::default())
+    }
+}
+
+/// The block-asynchronous solver configuration.
+///
+/// # Examples
+///
+/// ```
+/// use abr_core::{AsyncBlockSolver, SolveOptions};
+/// use abr_sparse::{gen, RowPartition};
+///
+/// let a = gen::laplacian_2d_5pt(10);
+/// let b = a.mul_vec(&vec![1.0; 100]).unwrap();
+/// let partition = RowPartition::uniform(100, 20).unwrap();
+/// let result = AsyncBlockSolver::async_k(5)
+///     .solve(&a, &b, &vec![0.0; 100], &partition,
+///            &SolveOptions::to_tolerance(1e-9, 10_000))
+///     .unwrap();
+/// assert!(result.converged);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsyncBlockSolver {
+    /// Number of local Jacobi sweeps per block update (the `k` in
+    /// async-(k)). The paper settles on 5 (§4.3).
+    pub local_iters: usize,
+    /// Block dispatch order.
+    pub schedule: ScheduleKind,
+    /// Execution fabric.
+    pub executor: ExecutorKind,
+    /// Relaxation damping `tau` applied to every component update
+    /// (`1.0` = plain Jacobi update; §4.2's remedy for `rho(B) > 1`
+    /// systems uses `tau = 2/(lambda_1 + lambda_n)`).
+    pub damping: f64,
+    /// Inner sweep type on the subdomains.
+    pub local_sweep: LocalSweep,
+}
+
+impl Default for AsyncBlockSolver {
+    /// The paper's tuned configuration. The executor runs 4 concurrent
+    /// block groups rather than one per SM: the paper launches its
+    /// kernels through a tuned number of CUDA *streams*, and successive
+    /// launches within a stream serialise — so the effective concurrency
+    /// of block updates is the stream count, not the SM count. Lower
+    /// concurrency means more updates read freshly written neighbours
+    /// (the "block Gauss-Seidel flavor" the paper notes), which is what
+    /// buys async-(5) its ~2x-over-Gauss-Seidel convergence on the fv
+    /// family. Raise `n_workers` to explore the fully concurrent end.
+    fn default() -> Self {
+        AsyncBlockSolver {
+            local_iters: 5,
+            schedule: ScheduleKind::Random { seed: 0 },
+            executor: ExecutorKind::Sim(SimOptions { n_workers: 4, jitter: 0.3, seed: 0 }),
+            damping: 1.0,
+            local_sweep: LocalSweep::Jacobi,
+        }
+    }
+}
+
+impl AsyncBlockSolver {
+    /// async-(k) with the given local iteration count, defaults otherwise.
+    pub fn async_k(local_iters: usize) -> Self {
+        AsyncBlockSolver { local_iters, ..Default::default() }
+    }
+
+    /// Solves `A x = b` from `x0` over the row partition.
+    pub fn solve(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        partition: &RowPartition,
+        opts: &SolveOptions,
+    ) -> Result<SolveResult> {
+        self.solve_filtered(a, rhs, x0, partition, opts, &AllowAll)
+    }
+
+    /// Solves with an [`UpdateFilter`] deciding which updates commit —
+    /// the fault-injection entry point used by `abr-fault`. Filter rounds
+    /// are global-iteration indices from the start of the solve.
+    pub fn solve_filtered(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        partition: &RowPartition,
+        opts: &SolveOptions,
+        filter: &dyn UpdateFilter,
+    ) -> Result<SolveResult> {
+        check_system(a, rhs, x0);
+        assert_eq!(partition.n(), a.n_rows(), "partition must cover the system");
+        assert!(self.local_iters >= 1, "async-(k) needs k >= 1");
+        let kernel = AsyncJacobiKernel::with_sweep(
+            a,
+            rhs,
+            partition,
+            self.local_iters,
+            self.damping,
+            self.local_sweep,
+        )?;
+        let mut schedule = self.schedule.build();
+
+        let mut x = x0.to_vec();
+        let mut history: Vec<f64> = Vec::new();
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        // Chunked driving: the executor runs `chunk` asynchronous global
+        // rounds at a time; between chunks the *driver* (host) checks
+        // convergence, exactly like the paper's host-side residual tests.
+        let chunk = if opts.tol > 0.0 { opts.check_every.max(1) } else { opts.max_iters };
+        while iterations < opts.max_iters && !converged {
+            let rounds = chunk.min(opts.max_iters - iterations);
+            let offset_filter = OffsetFilter { inner: filter, offset: iterations };
+            let mut offset_schedule =
+                OffsetSchedule { inner: schedule.as_mut(), offset: iterations };
+            match &self.executor {
+                ExecutorKind::Sim(sim_opts) => {
+                    let exec = SimExecutor::new(SimOptions {
+                        // decorrelate chunk seeds while staying reproducible
+                        seed: sim_opts.seed.wrapping_add(iterations as u64),
+                        ..sim_opts.clone()
+                    });
+                    exec.run(
+                        &kernel,
+                        &mut x,
+                        rounds,
+                        &mut offset_schedule,
+                        &offset_filter,
+                        |_k, xk| {
+                            if opts.record_history {
+                                history.push(relative_residual(a, rhs, xk));
+                            }
+                        },
+                    );
+                }
+                ExecutorKind::Threaded(t_opts) => {
+                    let exec = ThreadedExecutor::new(ThreadedOptions {
+                        snapshot_rounds: opts.record_history,
+                        ..t_opts.clone()
+                    });
+                    let (x_new, _trace, snaps) =
+                        exec.run(&kernel, &x, rounds, &mut offset_schedule, &offset_filter);
+                    if opts.record_history {
+                        for snap in &snaps {
+                            history.push(relative_residual(a, rhs, snap));
+                        }
+                    }
+                    x = x_new;
+                }
+            }
+            iterations += rounds;
+            if opts.tol > 0.0 {
+                let rr = relative_residual(a, rhs, &x);
+                if rr <= opts.tol {
+                    converged = true;
+                } else if !rr.is_finite() {
+                    break;
+                }
+            }
+        }
+
+        let final_residual = relative_residual(a, rhs, &x);
+        if opts.tol > 0.0 && final_residual <= opts.tol {
+            converged = true;
+        }
+        Ok(SolveResult { x, iterations, converged, final_residual, history })
+    }
+}
+
+/// Runs `rounds` asynchronous rounds purely to *measure* the realised
+/// shift distribution of Eq. (3) — which neighbour versions each block
+/// update actually read — without solving anything to tolerance. Returns
+/// the execution trace with its staleness histogram filled in.
+pub fn measure_staleness(
+    a: &CsrMatrix,
+    rhs: &[f64],
+    partition: &RowPartition,
+    local_iters: usize,
+    sim_opts: SimOptions,
+    schedule: ScheduleKind,
+    rounds: usize,
+) -> Result<abr_gpu::UpdateTrace> {
+    let kernel = AsyncJacobiKernel::new(a, rhs, partition, local_iters, 1.0)?;
+    let mut x = vec![0.0; a.n_rows()];
+    let exec = SimExecutor::new(sim_opts);
+    let mut sched = schedule.build();
+    Ok(exec.run(&kernel, &mut x, rounds, sched.as_mut(), &AllowAll, |_, _| {}))
+}
+
+/// Round-offset adapters so chunked driving presents absolute global
+/// iteration indices to the schedule and the fault filter.
+struct OffsetFilter<'a> {
+    inner: &'a dyn UpdateFilter,
+    offset: usize,
+}
+
+impl UpdateFilter for OffsetFilter<'_> {
+    fn block_enabled(&self, block: usize, round: usize) -> bool {
+        self.inner.block_enabled(block, round + self.offset)
+    }
+    fn component_enabled(&self, i: usize, round: usize) -> bool {
+        self.inner.component_enabled(i, round + self.offset)
+    }
+}
+
+struct OffsetSchedule<'a> {
+    inner: &'a mut dyn BlockSchedule,
+    offset: usize,
+}
+
+impl BlockSchedule for OffsetSchedule<'_> {
+    fn order(&mut self, round: usize, n_blocks: usize, out: &mut Vec<usize>) {
+        self.inner.order(round + self.offset, n_blocks, out);
+    }
+}
+
+/// The block kernel realising Algorithm 1 (one thread block's work).
+pub struct AsyncJacobiKernel<'a> {
+    a: &'a CsrMatrix,
+    rhs: &'a [f64],
+    partition: &'a RowPartition,
+    inv_diag: Vec<f64>,
+    local_iters: usize,
+    damping: f64,
+    local_sweep: LocalSweep,
+    /// Per row: the sub-range of the row's CSR entries whose columns fall
+    /// inside the row's own block (columns are sorted, so it's one
+    /// contiguous span).
+    local_span: Vec<(usize, usize)>,
+    /// Per block: total nonzeros of its rows, used as the virtual cost.
+    block_nnz: Vec<f64>,
+    /// Per block: the other blocks whose components it reads (sorted).
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl<'a> AsyncJacobiKernel<'a> {
+    /// Builds the kernel with Jacobi local sweeps; fails on zero diagonal
+    /// entries.
+    pub fn new(
+        a: &'a CsrMatrix,
+        rhs: &'a [f64],
+        partition: &'a RowPartition,
+        local_iters: usize,
+        damping: f64,
+    ) -> Result<Self> {
+        Self::with_sweep(a, rhs, partition, local_iters, damping, LocalSweep::Jacobi)
+    }
+
+    /// Builds the kernel with an explicit inner sweep type.
+    pub fn with_sweep(
+        a: &'a CsrMatrix,
+        rhs: &'a [f64],
+        partition: &'a RowPartition,
+        local_iters: usize,
+        damping: f64,
+        local_sweep: LocalSweep,
+    ) -> Result<Self> {
+        let inv_diag: Vec<f64> = a.nonzero_diagonal()?.iter().map(|&d| 1.0 / d).collect();
+        let n = a.n_rows();
+        let mut local_span = Vec::with_capacity(n);
+        for r in 0..n {
+            let block = partition.block(partition.block_of(r));
+            let (cols, _) = a.row(r);
+            let lo = cols.partition_point(|&c| c < block.start);
+            let hi = cols.partition_point(|&c| c < block.end);
+            local_span.push((lo, hi));
+        }
+        let block_nnz = partition
+            .blocks()
+            .iter()
+            .map(|b| (b.start..b.end).map(|r| a.row(r).0.len()).sum::<usize>() as f64)
+            .collect();
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); partition.len()];
+        for (bi, nbrs) in neighbors.iter_mut().enumerate() {
+            let blk = partition.block(bi);
+            let mut seen = std::collections::BTreeSet::new();
+            for r in blk.start..blk.end {
+                for (c, _) in a.row_iter(r) {
+                    if !blk.contains(c) {
+                        seen.insert(partition.block_of(c));
+                    }
+                }
+            }
+            nbrs.extend(seen);
+        }
+        Ok(AsyncJacobiKernel {
+            a,
+            rhs,
+            partition,
+            inv_diag,
+            local_iters,
+            damping,
+            local_sweep,
+            local_span,
+            block_nnz,
+            neighbors,
+        })
+    }
+
+    /// Number of nonzeros lying inside the partition's diagonal blocks —
+    /// the `nnz_local` input of the timing model.
+    pub fn nnz_local(&self) -> usize {
+        self.local_span.iter().map(|&(lo, hi)| hi - lo).sum()
+    }
+}
+
+impl BlockKernel for AsyncJacobiKernel<'_> {
+    fn n(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    fn n_blocks(&self) -> usize {
+        self.partition.len()
+    }
+
+    fn block_range(&self, b: usize) -> (usize, usize) {
+        let blk = self.partition.block(b);
+        (blk.start, blk.end)
+    }
+
+    fn block_cost(&self, b: usize) -> f64 {
+        self.block_nnz[b].max(1.0)
+    }
+
+    fn neighbor_blocks(&self, b: usize) -> Option<&[usize]> {
+        Some(&self.neighbors[b])
+    }
+
+    fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]) {
+        let blk = self.partition.block(b);
+        let nb = blk.len();
+        debug_assert_eq!(out.len(), nb);
+
+        // Step 1+2: snapshot local values, freeze the off-block part.
+        let mut cur: Vec<f64> = (blk.start..blk.end).map(|i| x.get(i)).collect();
+        let mut frozen = vec![0.0f64; nb];
+        for (li, r) in (blk.start..blk.end).enumerate() {
+            let (cols, vals) = self.a.row(r);
+            let (lo, hi) = self.local_span[r];
+            let mut acc = self.rhs[r];
+            for k in 0..lo {
+                acc -= vals[k] * x.get(cols[k]);
+            }
+            for k in hi..cols.len() {
+                acc -= vals[k] * x.get(cols[k]);
+            }
+            frozen[li] = acc;
+        }
+
+        // Step 3: `local_iters` sweeps on the subdomain.
+        match self.local_sweep {
+            LocalSweep::Jacobi => {
+                let mut next = vec![0.0f64; nb];
+                for _ in 0..self.local_iters {
+                    for (li, r) in (blk.start..blk.end).enumerate() {
+                        let (cols, vals) = self.a.row(r);
+                        let (lo, hi) = self.local_span[r];
+                        let mut acc = frozen[li];
+                        for k in lo..hi {
+                            let c = cols[k];
+                            if c != r {
+                                acc -= vals[k] * cur[c - blk.start];
+                            }
+                        }
+                        let sweep = acc * self.inv_diag[r];
+                        next[li] = if self.damping == 1.0 {
+                            sweep
+                        } else {
+                            cur[li] + self.damping * (sweep - cur[li])
+                        };
+                    }
+                    std::mem::swap(&mut cur, &mut next);
+                }
+            }
+            LocalSweep::GaussSeidel => {
+                for _ in 0..self.local_iters {
+                    for (li, r) in (blk.start..blk.end).enumerate() {
+                        let (cols, vals) = self.a.row(r);
+                        let (lo, hi) = self.local_span[r];
+                        let mut acc = frozen[li];
+                        for k in lo..hi {
+                            let c = cols[k];
+                            if c != r {
+                                acc -= vals[k] * cur[c - blk.start];
+                            }
+                        }
+                        let sweep = acc * self.inv_diag[r];
+                        cur[li] = if self.damping == 1.0 {
+                            sweep
+                        } else {
+                            cur[li] + self.damping * (sweep - cur[li])
+                        };
+                    }
+                }
+            }
+        }
+        out.copy_from_slice(&cur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::SolveOptions;
+    use crate::{gauss_seidel, jacobi};
+    use abr_sparse::gen::{laplacian_2d_5pt, random_diag_dominant};
+
+    fn solve_setup(n_side: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let a = laplacian_2d_5pt(n_side);
+        let n = n_side * n_side;
+        let x_true = vec![1.0; n];
+        let rhs = a.mul_vec(&x_true).unwrap();
+        (a, rhs, x_true)
+    }
+
+    #[test]
+    fn single_block_async_1_is_exactly_jacobi() {
+        let (a, rhs, _) = solve_setup(6);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, n).unwrap();
+        let solver = AsyncBlockSolver {
+            local_iters: 1,
+            schedule: ScheduleKind::RoundRobin,
+            executor: ExecutorKind::Sim(SimOptions { n_workers: 1, jitter: 0.0, seed: 0 }),
+            damping: 1.0,
+            local_sweep: LocalSweep::Jacobi,
+        };
+        let opts = SolveOptions::fixed_iterations(15);
+        let r_async = solver.solve(&a, &rhs, &vec![0.0; n], &p, &opts).unwrap();
+        let r_jacobi = jacobi(&a, &rhs, &vec![0.0; n], &opts).unwrap();
+        for (x1, x2) in r_async.x.iter().zip(&r_jacobi.x) {
+            assert!((x1 - x2).abs() < 1e-14, "{x1} vs {x2}");
+        }
+    }
+
+    #[test]
+    fn scalar_blocks_sequential_is_exactly_gauss_seidel() {
+        // block size 1, one worker, no jitter, in-order dispatch: every
+        // update immediately sees all earlier ones — Gauss-Seidel.
+        let (a, rhs, _) = solve_setup(5);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 1).unwrap();
+        let solver = AsyncBlockSolver {
+            local_iters: 1,
+            schedule: ScheduleKind::RoundRobin,
+            executor: ExecutorKind::Sim(SimOptions { n_workers: 1, jitter: 0.0, seed: 0 }),
+            damping: 1.0,
+            local_sweep: LocalSweep::Jacobi,
+        };
+        let opts = SolveOptions::fixed_iterations(10);
+        let r_async = solver.solve(&a, &rhs, &vec![0.0; n], &p, &opts).unwrap();
+        let r_gs = gauss_seidel(&a, &rhs, &vec![0.0; n], &opts).unwrap();
+        for (x1, x2) in r_async.x.iter().zip(&r_gs.x) {
+            assert!((x1 - x2).abs() < 1e-13, "{x1} vs {x2}");
+        }
+    }
+
+    #[test]
+    fn async_5_converges_on_poisson() {
+        let (a, rhs, x_true) = solve_setup(12);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 16).unwrap();
+        let solver = AsyncBlockSolver::async_k(5);
+        let r = solver
+            .solve(&a, &rhs, &vec![0.0; n], &p, &SolveOptions::to_tolerance(1e-11, 4000))
+            .unwrap();
+        assert!(r.converged, "residual {}", r.final_residual);
+        for (xi, ti) in r.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn async_5_converges_faster_than_async_1_per_global_iteration() {
+        // The paper's headline §4.3 result on diagonally-heavy systems.
+        let (a, rhs, _) = solve_setup(14);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 28).unwrap();
+        let opts = SolveOptions::fixed_iterations(200);
+        let r1 = AsyncBlockSolver::async_k(1)
+            .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+            .unwrap();
+        let r5 = AsyncBlockSolver::async_k(5)
+            .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+            .unwrap();
+        assert!(
+            r5.final_residual < r1.final_residual * 0.1,
+            "async-5 {} vs async-1 {}",
+            r5.final_residual,
+            r1.final_residual
+        );
+    }
+
+    #[test]
+    fn local_iterations_are_useless_when_diagonal_blocks_are_diagonal() {
+        // Paper §4.3 on Chem97ZtZ: "the local matrices for Chem97ZtZ are
+        // diagonal and therefore it does not matter how many local
+        // iterations would be performed." With a truly diagonal local
+        // block, the first local sweep is a fixed point of the remaining
+        // ones, so async-(5) produces *identical* iterates to async-(1).
+        let a = abr_sparse::gen::chem_ztz(301, 0.7889).unwrap();
+        let n = a.n_rows();
+        let rhs = a.mul_vec(&vec![1.0; n]).unwrap();
+        let p = RowPartition::uniform(n, 16).unwrap(); // 16 < coupling stride
+        let opts = SolveOptions::fixed_iterations(30);
+        let r1 = AsyncBlockSolver::async_k(1)
+            .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+            .unwrap();
+        let r5 = AsyncBlockSolver::async_k(5)
+            .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+            .unwrap();
+        assert!(
+            (r5.final_residual - r1.final_residual).abs()
+                <= 1e-12 * r1.final_residual.max(1e-300),
+            "async-5 {} vs async-1 {}",
+            r5.final_residual,
+            r1.final_residual
+        );
+    }
+
+    #[test]
+    fn threaded_executor_reaches_same_accuracy() {
+        let (a, rhs, _) = solve_setup(10);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 10).unwrap();
+        let sim = AsyncBlockSolver::async_k(5);
+        let thr = AsyncBlockSolver {
+            executor: ExecutorKind::Threaded(ThreadedOptions::default()),
+            ..AsyncBlockSolver::async_k(5)
+        };
+        let opts = SolveOptions::fixed_iterations(150);
+        let r_sim = sim.solve(&a, &rhs, &vec![0.0; n], &p, &opts).unwrap();
+        let r_thr = thr.solve(&a, &rhs, &vec![0.0; n], &p, &opts).unwrap();
+        // Non-deterministic, but both must be deep in the convergent
+        // regime after 150 global iterations.
+        assert!(r_sim.final_residual < 1e-2, "sim residual {}", r_sim.final_residual);
+        // The threaded run is at least as accurate in practice: real
+        // threads on a tiny system serialise on memory and see fresher
+        // values than the DES's deliberately pessimistic staleness, so we
+        // only bound it from above.
+        assert!(r_thr.final_residual < 1e-2, "threaded residual {}", r_thr.final_residual);
+    }
+
+    #[test]
+    fn history_records_every_global_iteration() {
+        let (a, rhs, _) = solve_setup(8);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 16).unwrap();
+        let r = AsyncBlockSolver::async_k(2)
+            .solve(&a, &rhs, &vec![0.0; n], &p, &SolveOptions::fixed_iterations(25))
+            .unwrap();
+        assert_eq!(r.history.len(), 25);
+        assert!(r.history[24] < r.history[0]);
+    }
+
+    #[test]
+    fn tolerance_early_stop() {
+        let (a, rhs, _) = solve_setup(8);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 16).unwrap();
+        let r = AsyncBlockSolver::async_k(5)
+            .solve(&a, &rhs, &vec![0.0; n], &p, &SolveOptions::to_tolerance(1e-8, 100000))
+            .unwrap();
+        assert!(r.converged);
+        assert!(r.iterations < 100000);
+        assert!(r.iterations.is_multiple_of(10), "chunked driving stops on a chunk boundary");
+    }
+
+    #[test]
+    fn random_diag_dominant_systems_converge_for_any_seedled_schedule() {
+        for seed in 0..3 {
+            let a = random_diag_dominant(80, 5, 1.3, seed);
+            let rhs = a.mul_vec(&vec![1.0; 80]).unwrap();
+            let p = RowPartition::uniform(80, 9).unwrap();
+            let solver = AsyncBlockSolver {
+                schedule: ScheduleKind::Random { seed: seed * 13 },
+                ..AsyncBlockSolver::async_k(2)
+            };
+            let r = solver
+                .solve(&a, &rhs, &vec![0.0; 80], &p, &SolveOptions::to_tolerance(1e-9, 2000))
+                .unwrap();
+            assert!(r.converged, "seed {seed}: {}", r.final_residual);
+        }
+    }
+
+    #[test]
+    fn local_gauss_seidel_sweeps_converge_faster_per_global_iteration() {
+        let (a, rhs, _) = solve_setup(12);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 36).unwrap();
+        let opts = SolveOptions::fixed_iterations(80);
+        let jac = AsyncBlockSolver::async_k(5)
+            .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+            .unwrap();
+        let gs = AsyncBlockSolver {
+            local_sweep: LocalSweep::GaussSeidel,
+            ..AsyncBlockSolver::async_k(5)
+        }
+        .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+        .unwrap();
+        assert!(
+            gs.final_residual < jac.final_residual,
+            "local GS {} vs local Jacobi {}",
+            gs.final_residual,
+            jac.final_residual
+        );
+    }
+
+    #[test]
+    fn local_gs_with_scalar_blocks_equals_local_jacobi() {
+        // one row per block: the inner sweep degenerates either way
+        let (a, rhs, _) = solve_setup(5);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 1).unwrap();
+        let opts = SolveOptions::fixed_iterations(10);
+        let jac = AsyncBlockSolver { local_iters: 1, ..Default::default() }
+            .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+            .unwrap();
+        let gs = AsyncBlockSolver {
+            local_iters: 1,
+            local_sweep: LocalSweep::GaussSeidel,
+            ..Default::default()
+        }
+        .solve(&a, &rhs, &vec![0.0; n], &p, &opts)
+        .unwrap();
+        for (x1, x2) in jac.x.iter().zip(&gs.x) {
+            assert!((x1 - x2).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn staleness_is_bounded_and_mixed() {
+        let (a, rhs, _) = solve_setup(12);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 12).unwrap();
+        let trace = measure_staleness(
+            &a,
+            &rhs,
+            &p,
+            2,
+            SimOptions { n_workers: 4, jitter: 0.3, seed: 5 },
+            ScheduleKind::Random { seed: 2 },
+            40,
+        )
+        .unwrap();
+        let h = &trace.staleness;
+        assert!(h.total() > 0, "neighbour reads must be recorded");
+        // Admissibility: shifts bounded (the serialised per-block updates
+        // keep the skew to a few rounds).
+        assert!(h.max_shift().unwrap() <= 6, "max shift {:?}", h.max_shift());
+        // Asynchrony: a real mix of fresh and stale reads.
+        assert!(h.fraction_fresh() > 0.05, "fresh fraction {}", h.fraction_fresh());
+        assert!(h.fraction_fresh() < 0.95, "fresh fraction {}", h.fraction_fresh());
+    }
+
+    #[test]
+    fn kernel_neighbors_are_the_coupled_blocks() {
+        // 4x4 grid, blocks = grid rows: each block couples only to the
+        // adjacent grid rows.
+        let a = laplacian_2d_5pt(4);
+        let p = RowPartition::uniform(16, 4).unwrap();
+        let rhs = vec![0.0; 16];
+        let k = AsyncJacobiKernel::new(&a, &rhs, &p, 1, 1.0).unwrap();
+        assert_eq!(k.neighbor_blocks(0).unwrap(), &[1]);
+        assert_eq!(k.neighbor_blocks(1).unwrap(), &[0, 2]);
+        assert_eq!(k.neighbor_blocks(3).unwrap(), &[2]);
+    }
+
+    #[test]
+    fn nnz_local_counts_block_entries() {
+        let a = laplacian_2d_5pt(4); // 16 rows
+        let p = RowPartition::uniform(16, 4).unwrap();
+        let rhs = vec![0.0; 16];
+        let k = AsyncJacobiKernel::new(&a, &rhs, &p, 1, 1.0).unwrap();
+        // Row-major 4x4 grid, blocks = grid rows: inside a block are the
+        // diagonal and the left/right couplings: 16 + 2*3*4 = 40.
+        assert_eq!(k.nnz_local(), 40);
+        assert!(k.nnz_local() < a.nnz());
+    }
+}

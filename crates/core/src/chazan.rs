@@ -1,0 +1,208 @@
+//! The abstract chaotic/asynchronous iteration of Chazan and Miranker
+//! (paper §2.2, Eq. 3):
+//!
+//! ```text
+//! x_i^{k+1} = sum_j b_ij x_j^{k - s(k,j)} + d_i   if i = u(k)
+//! x_i^{k+1} = x_i^k                               otherwise
+//! ```
+//!
+//! with an update function `u(k)` that visits every component infinitely
+//! often and a shift function bounded by `s_max` (and `s(k, j) <= k`).
+//! Strikwerda's theorem guarantees convergence for **all** admissible
+//! `u`/`s` when `rho(|B|) < 1`; the property tests in this module (and the
+//! crate's proptest suite) exercise exactly that statement with random
+//! admissible schedules.
+//!
+//! This model is sequential and component-granular — it is the *theory*
+//! object. The GPU-shaped realisation is [`crate::async_block`].
+
+use abr_sparse::{CsrMatrix, IterationMatrix, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A stepwise chaotic iteration with bounded shifts.
+#[derive(Debug, Clone)]
+pub struct ChazanMiranker {
+    /// Explicit iteration matrix `B = I - D^{-1}A`.
+    b: CsrMatrix,
+    /// `d = D^{-1} rhs`.
+    d: Vec<f64>,
+    /// Shift bound `s_max`.
+    s_max: usize,
+    /// `history[m]` is the iterate at step `k - m`; `history[0]` is
+    /// current.
+    history: VecDeque<Vec<f64>>,
+    /// Step counter.
+    k: usize,
+}
+
+impl ChazanMiranker {
+    /// Sets up the iteration for `A x = rhs` from `x0` with shift bound
+    /// `s_max`.
+    pub fn new(a: &CsrMatrix, rhs: &[f64], x0: &[f64], s_max: usize) -> Result<Self> {
+        assert_eq!(rhs.len(), a.n_rows());
+        assert_eq!(x0.len(), a.n_rows());
+        let it = IterationMatrix::new(a)?;
+        let d: Vec<f64> = rhs.iter().zip(it.inv_diag()).map(|(&r, &id)| r * id).collect();
+        let mut history = VecDeque::with_capacity(s_max + 1);
+        history.push_front(x0.to_vec());
+        Ok(ChazanMiranker { b: it.to_csr(), d, s_max, history, k: 0 })
+    }
+
+    /// Current iterate.
+    pub fn current(&self) -> &[f64] {
+        &self.history[0]
+    }
+
+    /// Steps performed so far.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The shift bound.
+    pub fn s_max(&self) -> usize {
+        self.s_max
+    }
+
+    /// Performs one step updating component `i = u(k)`, reading component
+    /// `j` from `shift_of(j)` steps back. Shifts are clamped to the
+    /// admissible range `0..=min(s_max, k)`.
+    pub fn step<F: FnMut(usize) -> usize>(&mut self, i: usize, mut shift_of: F) {
+        let n = self.d.len();
+        assert!(i < n, "component out of range");
+        let mut acc = self.d[i];
+        for (j, v) in self.b.row_iter(i) {
+            let s = shift_of(j).min(self.s_max).min(self.k);
+            acc += v * self.history[s][j];
+        }
+        let mut next = self.history[0].clone();
+        next[i] = acc;
+        self.history.push_front(next);
+        while self.history.len() > self.s_max + 1 {
+            self.history.pop_back();
+        }
+        self.k += 1;
+    }
+
+    /// One "sweep": every component once, in a random order, each read
+    /// with an independent random admissible shift.
+    pub fn sweep_random(&mut self, rng: &mut StdRng) {
+        let n = self.d.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        for i in order {
+            let s_max = self.s_max;
+            let mut shifts: Vec<usize> = Vec::new();
+            // Pre-draw shifts so the closure borrows only locals.
+            for _ in 0..n {
+                shifts.push(rng.gen_range(0..=s_max));
+            }
+            self.step(i, |j| shifts[j]);
+        }
+    }
+}
+
+/// Convenience driver: runs `sweeps` random chaotic sweeps and returns the
+/// final iterate.
+pub fn solve_chaotic(
+    a: &CsrMatrix,
+    rhs: &[f64],
+    x0: &[f64],
+    s_max: usize,
+    sweeps: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let mut it = ChazanMiranker::new(a, rhs, x0, s_max)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..sweeps {
+        it.sweep_random(&mut rng);
+    }
+    Ok(it.current().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::relative_residual;
+    use abr_sparse::gen::{laplacian_1d, random_diag_dominant};
+
+    #[test]
+    fn zero_shift_cyclic_order_is_gauss_seidel() {
+        let a = laplacian_1d(8);
+        let x_true: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        let rhs = a.mul_vec(&x_true).unwrap();
+        let mut cm = ChazanMiranker::new(&a, &rhs, &[0.0; 8], 0).unwrap();
+        for _sweep in 0..3 {
+            for i in 0..8 {
+                cm.step(i, |_| 0);
+            }
+        }
+        let gs = crate::gauss_seidel(&a, &rhs, &[0.0; 8], &crate::SolveOptions {
+            max_iters: 3,
+            tol: 0.0,
+            record_history: false,
+            check_every: 1,
+        })
+        .unwrap();
+        for (c, g) in cm.current().iter().zip(&gs.x) {
+            assert!((c - g).abs() < 1e-13, "{c} vs {g}");
+        }
+    }
+
+    #[test]
+    fn chaotic_converges_when_abs_radius_below_one() {
+        for seed in 0..4 {
+            let a = random_diag_dominant(40, 4, 1.4, seed);
+            let x_true = vec![1.0; 40];
+            let rhs = a.mul_vec(&x_true).unwrap();
+            let x = solve_chaotic(&a, &rhs, &vec![0.0; 40], 3, 120, seed * 7 + 1).unwrap();
+            let rr = relative_residual(&a, &rhs, &x);
+            assert!(rr < 1e-8, "seed {seed}: residual {rr}");
+        }
+    }
+
+    #[test]
+    fn larger_shift_bound_still_converges_but_slower() {
+        let a = random_diag_dominant(24, 4, 2.0, 5);
+        let rhs = a.mul_vec(&[1.0; 24]).unwrap();
+        let x_fresh = solve_chaotic(&a, &rhs, &[0.0; 24], 0, 20, 3).unwrap();
+        let x_stale = solve_chaotic(&a, &rhs, &[0.0; 24], 8, 20, 3).unwrap();
+        let rr_fresh = relative_residual(&a, &rhs, &x_fresh);
+        let rr_stale = relative_residual(&a, &rhs, &x_stale);
+        assert!(rr_fresh < 1e-6, "{rr_fresh}");
+        assert!(rr_stale < 1e-2, "stale reads still converge: {rr_stale}");
+        // Staleness generally slows convergence; allow ties within noise.
+        assert!(rr_fresh <= rr_stale * 10.0, "fresh {rr_fresh} vs stale {rr_stale}");
+    }
+
+    #[test]
+    fn shift_clamped_to_k_initially() {
+        // Requesting huge shifts at step 0 must not panic: condition (2)
+        // of §2.2 (s(k, i) <= k) is enforced by clamping.
+        let a = laplacian_1d(4);
+        let rhs = vec![1.0; 4];
+        let mut cm = ChazanMiranker::new(&a, &rhs, &[0.0; 4], 5).unwrap();
+        cm.step(0, |_| 100);
+        assert_eq!(cm.k(), 1);
+    }
+
+    #[test]
+    fn only_selected_component_changes() {
+        let a = laplacian_1d(5);
+        let rhs = vec![1.0; 5];
+        let x0 = vec![0.5; 5];
+        let mut cm = ChazanMiranker::new(&a, &rhs, &x0, 2).unwrap();
+        cm.step(2, |_| 0);
+        let x = cm.current();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..5 {
+            if i == 2 {
+                assert_ne!(x[i], 0.5);
+            } else {
+                assert_eq!(x[i], 0.5);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Solver options, results, and residual bookkeeping shared by every
+//! method in this crate.
+
+use abr_sparse::{blas1, CsrMatrix};
+
+/// Options common to all iterative solvers.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Hard iteration limit (global iterations for block methods).
+    pub max_iters: usize,
+    /// Relative-residual stopping tolerance `||b - Ax|| / ||b||`.
+    /// Set to `0.0` to always run `max_iters` iterations (the convention
+    /// of the paper's convergence plots).
+    pub tol: f64,
+    /// Record the relative residual after every (global) iteration.
+    pub record_history: bool,
+    /// For asynchronous methods: how many global iterations to run between
+    /// convergence checks (each check is a synchronisation point of the
+    /// *driver*, not of the iteration itself).
+    pub check_every: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_iters: 1000, tol: 1e-12, record_history: false, check_every: 10 }
+    }
+}
+
+impl SolveOptions {
+    /// Convenience: run exactly `iters` iterations, recording the history
+    /// (the configuration used by the paper's convergence figures).
+    pub fn fixed_iterations(iters: usize) -> Self {
+        SolveOptions { max_iters: iters, tol: 0.0, record_history: true, check_every: 10 }
+    }
+
+    /// Convenience: iterate to relative residual `tol` (at most
+    /// `max_iters`).
+    pub fn to_tolerance(tol: f64, max_iters: usize) -> Self {
+        SolveOptions { max_iters, tol, record_history: false, check_every: 10 }
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Final solution approximation.
+    pub x: Vec<f64>,
+    /// Iterations performed (global iterations for block methods).
+    pub iterations: usize,
+    /// Whether the tolerance was reached within `max_iters`.
+    pub converged: bool,
+    /// Final relative residual `||b - Ax||_2 / ||b||_2`.
+    pub final_residual: f64,
+    /// Relative residual after each iteration (empty unless
+    /// `record_history`). `history[k]` is the residual after iteration
+    /// `k + 1`.
+    pub history: Vec<f64>,
+}
+
+impl SolveResult {
+    /// Residual after `iters` iterations, from the recorded history
+    /// (`iters = 0` returns the implicit initial residual of 1.0 only if
+    /// the caller started from `x0 = 0`; prefer indexing the history).
+    pub fn residual_at(&self, iters: usize) -> Option<f64> {
+        if iters == 0 {
+            None
+        } else {
+            self.history.get(iters - 1).copied()
+        }
+    }
+}
+
+/// Relative residual `||b - Ax||_2 / ||b||_2` (`||r||` itself when
+/// `b = 0`).
+pub fn relative_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    let r = a.residual(b, x).expect("dimensions checked by solver entry");
+    let nb = blas1::norm2(b);
+    if nb == 0.0 {
+        blas1::norm2(&r)
+    } else {
+        blas1::norm2(&r) / nb
+    }
+}
+
+/// Shared driver plumbing: checks inputs once at solver entry.
+pub(crate) fn check_system(a: &CsrMatrix, b: &[f64], x0: &[f64]) {
+    assert!(a.is_square(), "iterative solvers need a square matrix");
+    assert_eq!(b.len(), a.n_rows(), "rhs length mismatch");
+    assert_eq!(x0.len(), a.n_rows(), "initial guess length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_sparse::gen::laplacian_1d;
+
+    #[test]
+    fn relative_residual_zero_at_solution() {
+        let a = laplacian_1d(6);
+        let x = vec![2.0; 6];
+        let b = a.mul_vec(&x).unwrap();
+        assert!(relative_residual(&a, &b, &x) < 1e-15);
+    }
+
+    #[test]
+    fn relative_residual_one_at_zero_guess() {
+        let a = laplacian_1d(6);
+        let b = a.mul_vec(&[1.0; 6]).unwrap();
+        let rr = relative_residual(&a, &b, &[0.0; 6]);
+        assert!((rr - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_rhs_uses_absolute_norm() {
+        let a = laplacian_1d(4);
+        let rr = relative_residual(&a, &[0.0; 4], &[0.0; 4]);
+        assert_eq!(rr, 0.0);
+    }
+
+    #[test]
+    fn options_constructors() {
+        let o = SolveOptions::fixed_iterations(50);
+        assert_eq!(o.max_iters, 50);
+        assert_eq!(o.tol, 0.0);
+        assert!(o.record_history);
+        let o = SolveOptions::to_tolerance(1e-9, 200);
+        assert_eq!(o.tol, 1e-9);
+        assert!(!o.record_history);
+    }
+
+    #[test]
+    fn residual_at_indexing() {
+        let r = SolveResult {
+            x: vec![],
+            iterations: 3,
+            converged: true,
+            final_residual: 0.1,
+            history: vec![0.5, 0.25, 0.1],
+        };
+        assert_eq!(r.residual_at(1), Some(0.5));
+        assert_eq!(r.residual_at(3), Some(0.1));
+        assert_eq!(r.residual_at(4), None);
+        assert_eq!(r.residual_at(0), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! **Figure 10 & Table 6** — fault tolerance of async-(5) (§4.5).
+//!
+//! At global iteration `t0 = 10`, 25 % of the components stop updating.
+//! Variants: recovery after `t_r = 10, 20, 30` iterations, or never.
+//! Figure 10 plots the residual trajectories; Table 6 reports the extra
+//! computation (in %) the recovering runs need to reach the no-failure
+//! run's final accuracy.
+
+use crate::matrices::TestSystem;
+use crate::report::{Figure, Series, Table};
+use crate::{ExpOptions, Scale};
+use abr_core::{AsyncBlockSolver, SolveOptions};
+use abr_fault::FailureScenario;
+use abr_sparse::gen::TestMatrix;
+use abr_sparse::Result;
+
+/// Output of the fault-tolerance experiment.
+pub struct FaultResult {
+    /// Figure 10, one per matrix.
+    pub figures: Vec<Figure>,
+    /// Table 6.
+    pub table: Table,
+}
+
+/// The recovery times examined (global iterations after `t0`).
+pub const RECOVERY_TIMES: [usize; 3] = [10, 20, 30];
+
+/// Regenerates Figure 10 and Table 6.
+pub fn run(opts: &ExpOptions) -> Result<FaultResult> {
+    let mut figures = Vec::new();
+    let mut table = Table::new(
+        "Table 6: additional computation [%] to reach the no-failure accuracy",
+        &["Matrix", "recover-(10)", "recover-(20)", "recover-(30)"],
+    );
+
+    let configs = [(TestMatrix::Fv1, 100usize), (TestMatrix::Trefethen2000, 50)];
+    for (which, fig_iters) in configs {
+        let sys = TestSystem::build(which, opts.scale)?;
+        let fig_iters = match opts.scale {
+            Scale::Full => fig_iters,
+            Scale::Small => fig_iters.max(60),
+        };
+        // generous horizon so every recovering variant reaches the target
+        let horizon = fig_iters * 3;
+        let partition = sys.partition(opts.scale)?;
+        let solver = AsyncBlockSolver::async_k(5);
+        let solve_opts = SolveOptions::fixed_iterations(horizon);
+
+        let healthy = solver.solve(&sys.a, &sys.rhs, &sys.x0, &partition, &solve_opts)?;
+        // Target accuracy: what the healthy run achieves at the figure's
+        // end (its floor for these systems).
+        let target = healthy.history[fig_iters - 1].max(1e-15);
+        let healthy_iters = first_reaching(&healthy.history, target)
+            .expect("healthy run reaches its own residual");
+
+        let mut fig = Figure::new(
+            format!("Figure 10 ({})", which.name()),
+            "global iterations",
+            "relative residual",
+        );
+        fig.push(history_series("no failure", &healthy.history, fig_iters));
+
+        let mut row = vec![which.name().to_string()];
+        for tr in RECOVERY_TIMES {
+            let scenario = FailureScenario::paper_default(Some(tr), opts.seed).build(sys.a.n_rows());
+            let r = solver.solve_filtered(
+                &sys.a,
+                &sys.rhs,
+                &sys.x0,
+                &partition,
+                &solve_opts,
+                &scenario,
+            )?;
+            let reached = first_reaching(&r.history, target);
+            let extra = reached.map_or(f64::NAN, |k| {
+                100.0 * (k as f64 - healthy_iters as f64) / healthy_iters as f64
+            });
+            row.push(format!("{extra:.2}"));
+            fig.push(history_series(&format!("recovery-({tr})"), &r.history, fig_iters));
+        }
+
+        let broken =
+            FailureScenario::paper_default(None, opts.seed).build(sys.a.n_rows());
+        let r = solver.solve_filtered(
+            &sys.a,
+            &sys.rhs,
+            &sys.x0,
+            &partition,
+            &solve_opts,
+            &broken,
+        )?;
+        fig.push(history_series("no recovery", &r.history, fig_iters));
+
+        figures.push(fig);
+        table.push_row(row);
+    }
+    Ok(FaultResult { figures, table })
+}
+
+fn history_series(label: &str, history: &[f64], keep: usize) -> Series {
+    Series::new(
+        label,
+        history
+            .iter()
+            .take(keep)
+            .enumerate()
+            .map(|(k, &r)| ((k + 1) as f64, r))
+            .collect(),
+    )
+}
+
+/// 1-based iteration at which the history first reaches `target`.
+fn first_reaching(history: &[f64], target: f64) -> Option<usize> {
+    history.iter().position(|&r| r <= target).map(|k| k + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExpOptions {
+        ExpOptions { scale: Scale::Small, runs: 2, seed: 7 }
+    }
+
+    #[test]
+    fn figures_and_table_shape() {
+        let out = run(&small()).unwrap();
+        assert_eq!(out.figures.len(), 2);
+        assert_eq!(out.table.rows.len(), 2);
+        for f in &out.figures {
+            assert_eq!(f.series.len(), 5); // no failure + 3 recoveries + none
+        }
+    }
+
+    #[test]
+    fn recovery_cost_monotone_in_recovery_time() {
+        let out = run(&small()).unwrap();
+        for row in &out.table.rows {
+            let r10: f64 = row[1].parse().unwrap();
+            let r20: f64 = row[2].parse().unwrap();
+            let r30: f64 = row[3].parse().unwrap();
+            assert!(r10.is_finite() && r20.is_finite() && r30.is_finite(), "{row:?}");
+            assert!(r10 >= 0.0, "{row:?}");
+            assert!(
+                r10 <= r20 + 1e-9 && r20 <= r30 + 1e-9,
+                "longer outages must cost more: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_recovery_stagnates_above_recovered_runs() {
+        let out = run(&small()).unwrap();
+        for f in &out.figures {
+            let last = |label: &str| {
+                f.series
+                    .iter()
+                    .find(|s| s.label == label)
+                    .unwrap()
+                    .points
+                    .last()
+                    .unwrap()
+                    .1
+            };
+            assert!(
+                last("no recovery") > 1e3 * last("no failure"),
+                "{}: no-recovery must stagnate",
+                f.title
+            );
+            assert!(last("recovery-(10)") < last("no recovery"));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! **Figure 11** — time-to-convergence of the three multi-GPU schemes
+//! (AMC, DC, DK) on `Trefethen_20000` with 1–4 GPUs (§4.6), with the
+//! initialisation overhead subtracted like the paper does.
+//!
+//! Shape targets: AMC nearly halves from 1 to 2 GPUs, is *slower* with 3
+//! (QPI crossing), and recovers with 4 without reaching 2x; DC and DK see
+//! only small changes since all traffic serialises on the master GPU's
+//! link.
+
+use crate::matrices::TestSystem;
+use crate::report::Table;
+use crate::{ExpOptions, Scale};
+use abr_core::SolveOptions;
+use abr_multigpu::{CommStrategy, MultiGpuSolver};
+use abr_sparse::gen::TestMatrix;
+use abr_sparse::Result;
+
+/// Regenerates Figure 11 as a table of bars: strategy x device count.
+///
+/// Like the paper (§4.6: "we can assume that for all implementations, the
+/// solution approximation accuracy almost linearly depends on the
+/// run-time"), every configuration is priced at the same global-iteration
+/// count — the one the single-GPU run needs for the target accuracy — so
+/// the bars isolate the communication-scheme cost rather than
+/// convergence-check quantisation noise.
+pub fn run(opts: &ExpOptions) -> Result<Table> {
+    let sys = TestSystem::build(TestMatrix::Trefethen20000, opts.scale)?;
+    let tol = 1e-12;
+    let mut table = Table::new(
+        "Figure 11: time to convergence [s] (setup subtracted), Trefethen_20000",
+        &["strategy", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs"],
+    );
+    // Reference iteration count from the single-GPU run.
+    let mut reference = MultiGpuSolver::supermicro(1, CommStrategy::Amc);
+    if opts.scale == Scale::Small {
+        reference.thread_block_size = 32;
+    }
+    let ref_run = reference.solve(
+        &sys.a,
+        &sys.rhs,
+        &sys.x0,
+        &SolveOptions { max_iters: 100000, tol, record_history: false, check_every: 5 },
+    )?;
+    assert!(ref_run.solve.converged, "reference run failed to converge");
+    let iters = ref_run.solve.iterations;
+
+    for strategy in CommStrategy::ALL {
+        let mut row = vec![strategy.name().to_string()];
+        for g in 1..=4 {
+            let mut solver = MultiGpuSolver::supermicro(g, strategy);
+            if opts.scale == Scale::Small {
+                solver.thread_block_size = 32;
+            }
+            let r = solver.solve(
+                &sys.a,
+                &sys.rhs,
+                &sys.x0,
+                &SolveOptions::fixed_iterations(iters),
+            )?;
+            assert!(
+                r.solve.final_residual <= tol * 1e3,
+                "{strategy:?} x{g}: accuracy degraded to {}",
+                r.solve.final_residual
+            );
+            row.push(format!("{:.4}", r.seconds_per_iteration * iters as f64));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configurations_converge_and_report_times() {
+        // The paper's Figure 11 shape (AMC halving at 2 GPUs, QPI penalty
+        // at 3) only emerges at the full n = 20000 problem size, where
+        // the per-device compute dominates the fixed exchange overheads —
+        // the full-scale integration suite asserts it. Here: structure
+        // and positivity.
+        let opts = ExpOptions { scale: Scale::Small, runs: 2, seed: 0 };
+        let t = run(&opts).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let v: Vec<f64> = row[1..].iter().map(|s| s.parse().unwrap()).collect();
+            assert_eq!(v.len(), 4);
+            assert!(v.iter().all(|&x| x > 0.0), "{}: {v:?}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper artifact. Each exposes a `run(&ExpOptions)`
+//! returning the tables/figures it regenerates; the `repro` binary prints
+//! them.
+
+pub mod ablation;
+pub mod convergence_figs;
+pub mod fault_exp;
+pub mod fig11;
+pub mod fig9;
+pub mod nondet;
+pub mod resilience;
+pub mod table1;
+pub mod theory;
+pub mod timing_tables;
+pub mod verify;

@@ -1,0 +1,94 @@
+//! **Resilience economics** (extension of §4.5): the checkpoint/restart
+//! cost a *synchronous* solver pays under shrinking mean-time-between-
+//! failures, against the checkpoint-free asynchronous iteration under the
+//! same failure process. This quantifies the paper's exascale argument:
+//! below a critical MTBF the synchronous solver live-locks ("constantly
+//! being restarted"), while async-(5) converges at every failure rate
+//! with bounded extra work.
+
+use crate::matrices::TestSystem;
+use crate::report::Table;
+use crate::{ExpOptions, Scale};
+use abr_fault::{checkpoint_free_async, checkpointed_jacobi, CheckpointPolicy};
+use abr_sparse::gen::TestMatrix;
+use abr_sparse::Result;
+
+/// Regenerates the resilience-economics table on fv1.
+pub fn run(opts: &ExpOptions) -> Result<Table> {
+    let sys = TestSystem::build(TestMatrix::Fv1, opts.scale)?;
+    let partition = sys.partition(opts.scale)?;
+    let tol = 1e-9;
+    let policy = CheckpointPolicy::default();
+    // budget scaled to the healthy iteration count
+    let budget = match opts.scale {
+        Scale::Full => 3_000.0,
+        Scale::Small => 2_000.0,
+    };
+
+    let mut table = Table::new(
+        "Resilience: work to 1e-9 under failures every MTBF iterations (fv1)",
+        &[
+            "MTBF",
+            "sync+checkpoint work",
+            "sync converged",
+            "sync failures",
+            "async work",
+            "async converged",
+        ],
+    );
+    for mtbf in [usize::MAX, 64, 32, 16, 8] {
+        let sync = checkpointed_jacobi(
+            &sys.a, &sys.rhs, &sys.x0, tol, mtbf, policy, budget,
+        )?;
+        let asynchronous = checkpoint_free_async(
+            &sys.a,
+            &sys.rhs,
+            &sys.x0,
+            &partition,
+            tol,
+            mtbf.min(1_000_000),
+            (mtbf / 2).clamp(1, 20),
+            opts.seed,
+            budget,
+        )?;
+        let mtbf_label =
+            if mtbf == usize::MAX { "none".to_string() } else { mtbf.to_string() };
+        table.push_row(vec![
+            mtbf_label,
+            format!("{:.1}", sync.work),
+            sync.converged.to_string(),
+            sync.failures.to_string(),
+            format!("{:.1}", asynchronous.work),
+            asynchronous.converged.to_string(),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_converges_at_every_failure_rate() {
+        let opts = ExpOptions { scale: Scale::Small, runs: 2, seed: 3 };
+        let t = run(&opts).unwrap();
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            assert_eq!(row[5], "true", "async must converge at MTBF {}: {row:?}", row[0]);
+        }
+        // the failure-free sync run converges too
+        assert_eq!(t.rows[0][2], "true");
+    }
+
+    #[test]
+    fn sync_work_grows_as_mtbf_shrinks() {
+        let opts = ExpOptions { scale: Scale::Small, runs: 2, seed: 3 };
+        let t = run(&opts).unwrap();
+        let work: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(
+            work.last().unwrap() > work.first().unwrap(),
+            "harsher failures must cost the synchronous solver more: {work:?}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! **Table 1** — dimension and characteristics of the test matrices and
+//! their iteration matrices: `n`, `nnz`, `cond(A)`, `cond(D^{-1}A)`,
+//! `rho(M)`, plus our extra column `rho(|M|)` (the §3.1 asynchronous
+//! convergence bound, which the paper discusses but does not tabulate).
+
+use crate::matrices::full_suite;
+use crate::report::Table;
+use crate::ExpOptions;
+use abr_sparse::stats::matrix_stats;
+use abr_sparse::Result;
+
+/// Regenerates Table 1.
+pub fn run(opts: &ExpOptions) -> Result<Table> {
+    let mut table = Table::new(
+        "Table 1: test matrices and iteration-matrix characteristics",
+        &[
+            "Matrix",
+            "Description",
+            "n",
+            "nnz",
+            "cond(A)",
+            "cond(D^-1 A)",
+            "rho(M)",
+            "rho(|M|)",
+            "paper rho(M)",
+        ],
+    );
+    for sys in full_suite(opts.scale)? {
+        let s = matrix_stats(&sys.a)?;
+        table.push_row(vec![
+            sys.which.name().to_string(),
+            sys.which.description().to_string(),
+            s.n.to_string(),
+            s.nnz.to_string(),
+            format!("{:.1e}", s.cond_a),
+            format!("{:.4e}", s.cond_jacobi),
+            format!("{:.4}", s.rho),
+            format!("{:.4}", s.rho_abs),
+            format!("{:.4}", sys.which.paper_rho()),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExpOptions, Scale};
+
+    #[test]
+    fn small_scale_table_has_all_rows() {
+        let opts = ExpOptions { scale: Scale::Small, ..Default::default() };
+        let t = run(&opts).unwrap();
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.to_markdown().contains("Trefethen_2000"));
+        // s1rmt3m1's rho column must exceed 1 even at small scale
+        let s1 = t.rows.iter().find(|r| r[0] == "s1rmt3m1").unwrap();
+        let rho: f64 = s1[6].parse().unwrap();
+        assert!(rho > 1.0, "{rho}");
+    }
+}

@@ -1,0 +1,117 @@
+//! **Theory check** (§2 made quantitative): the measured asymptotic
+//! contraction rate of each method against the spectral predictions —
+//! Jacobi's rate should equal `rho(B)`, Gauss-Seidel's should approach
+//! `rho(B)^2` on these consistently-ordered-ish systems, and async-(k)'s
+//! *effective radius* lands between `rho(B)` and the local-solve limit.
+
+use crate::matrices::TestSystem;
+use crate::report::Table;
+use crate::{ExpOptions, Scale};
+use abr_core::{gauss_seidel, jacobi, AsyncBlockSolver, SolveOptions};
+use abr_sparse::gen::TestMatrix;
+use abr_sparse::{IterationMatrix, Result};
+
+/// Asymptotic per-iteration contraction of a residual history: geometric
+/// mean over the last stretch *above the floating-point floor* (faster
+/// methods reach the floor early; the informative window ends there).
+/// `None` when fewer than 8 useful samples exist.
+pub fn tail_contraction(history: &[f64]) -> Option<f64> {
+    // last index still carrying signal
+    let b = history.iter().rposition(|&r| r > 1e-13)?;
+    if b < 8 {
+        return None;
+    }
+    let a = 3 * b / 4;
+    let (ya, yb) = (history[a], history[b]);
+    if ya <= 0.0 || yb <= 0.0 || a == b {
+        return None;
+    }
+    Some((yb / ya).powf(1.0 / (b - a) as f64))
+}
+
+/// Regenerates the theory-check table.
+pub fn run(opts: &ExpOptions) -> Result<Table> {
+    let mut table = Table::new(
+        "Theory check: spectral predictions vs measured contraction rates",
+        &[
+            "Matrix",
+            "rho(B)",
+            "Jacobi measured",
+            "rho(B)^2",
+            "GS measured",
+            "async-(1)",
+            "async-(5)",
+        ],
+    );
+    let convergent = [
+        TestMatrix::Chem97ZtZ,
+        TestMatrix::Fv1,
+        TestMatrix::Fv2,
+        TestMatrix::Trefethen2000,
+    ];
+    for which in convergent {
+        let sys = TestSystem::build(which, opts.scale)?;
+        let rho = IterationMatrix::new(&sys.a)?.spectral_radius()?;
+        // enough iterations for the tail, short of the floor
+        let iters = match opts.scale {
+            Scale::Full => ((-28.0) / rho.ln()).ceil() as usize, // ~1e-12
+            Scale::Small => 60,
+        }
+        .clamp(40, 400);
+        let solve_opts = SolveOptions::fixed_iterations(iters);
+        let partition = sys.partition(opts.scale)?;
+
+        let j = jacobi(&sys.a, &sys.rhs, &sys.x0, &solve_opts)?;
+        let g = gauss_seidel(&sys.a, &sys.rhs, &sys.x0, &solve_opts)?;
+        let a1 = AsyncBlockSolver::async_k(1)
+            .solve(&sys.a, &sys.rhs, &sys.x0, &partition, &solve_opts)?;
+        let a5 = AsyncBlockSolver::async_k(5)
+            .solve(&sys.a, &sys.rhs, &sys.x0, &partition, &solve_opts)?;
+
+        let fmt = |h: &[f64]| {
+            tail_contraction(h).map_or("(floor)".to_string(), |r| format!("{r:.4}"))
+        };
+        table.push_row(vec![
+            which.name().to_string(),
+            format!("{rho:.4}"),
+            fmt(&j.history),
+            format!("{:.4}", rho * rho),
+            fmt(&g.history),
+            fmt(&a1.history),
+            fmt(&a5.history),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_rate_matches_rho_at_small_scale() {
+        let opts = ExpOptions { scale: Scale::Small, runs: 2, seed: 0 };
+        let t = run(&opts).unwrap();
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let rho: f64 = row[1].parse().unwrap();
+            if let Ok(measured) = row[2].parse::<f64>() {
+                assert!(
+                    (measured - rho).abs() < 0.05,
+                    "{}: Jacobi measured {measured} vs rho {rho}",
+                    row[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_contraction_basics() {
+        let geometric: Vec<f64> = (0..40).map(|k| 0.8f64.powi(k)).collect();
+        let r = tail_contraction(&geometric).unwrap();
+        assert!((r - 0.8).abs() < 1e-12);
+        assert!(tail_contraction(&[1.0, 0.5]).is_none(), "too short");
+        let floored = vec![1e-16; 40];
+        assert!(tail_contraction(&floored).is_none(), "no signal at the floor");
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared matrix suite for the experiments: builds each Table 1 matrix at
+//! the requested scale, with the standard right-hand side (exact solution
+//! = all ones) and the paper's block sizes.
+
+use crate::Scale;
+use abr_sparse::gen::{unit_solution_rhs, TestMatrix};
+use abr_sparse::{CsrMatrix, Result, RowPartition};
+
+/// One ready-to-solve test system.
+pub struct TestSystem {
+    /// Which Table 1 matrix this is.
+    pub which: TestMatrix,
+    /// The matrix.
+    pub a: CsrMatrix,
+    /// Right-hand side (`A * ones`).
+    pub rhs: Vec<f64>,
+    /// Zero initial guess.
+    pub x0: Vec<f64>,
+}
+
+impl TestSystem {
+    /// Builds one system at the given scale.
+    pub fn build(which: TestMatrix, scale: Scale) -> Result<TestSystem> {
+        let a = match scale {
+            Scale::Full => which.build()?,
+            Scale::Small => which.build_small()?,
+        };
+        let rhs = unit_solution_rhs(&a);
+        let x0 = vec![0.0; a.n_rows()];
+        Ok(TestSystem { which, a, rhs, x0 })
+    }
+
+    /// The paper's thread-block row partition (448 rows per block for the
+    /// main experiments), scaled down for small runs.
+    pub fn partition(&self, scale: Scale) -> Result<RowPartition> {
+        RowPartition::uniform(self.a.n_rows(), block_size(scale))
+    }
+
+    /// A partition with an explicit block size (the §4.1 study uses 128).
+    pub fn partition_with(&self, block_size: usize) -> Result<RowPartition> {
+        RowPartition::uniform(self.a.n_rows(), block_size.min(self.a.n_rows()))
+    }
+
+    /// Number of global iterations the paper's convergence figures use
+    /// for this matrix.
+    pub fn figure_iterations(&self, scale: Scale) -> usize {
+        let full = match self.which {
+            TestMatrix::Fv3 => 25000,
+            _ => 200,
+        };
+        match scale {
+            Scale::Full => full,
+            Scale::Small => (full / 25).max(40),
+        }
+    }
+}
+
+/// The standard thread-block size at each scale.
+pub fn block_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 448,
+        Scale::Small => 32,
+    }
+}
+
+/// Builds every Table 1 system at the given scale.
+pub fn full_suite(scale: Scale) -> Result<Vec<TestSystem>> {
+    TestMatrix::ALL
+        .iter()
+        .map(|&which| TestSystem::build(which, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_builds() {
+        let suite = full_suite(Scale::Small).unwrap();
+        assert_eq!(suite.len(), 7);
+        for s in &suite {
+            assert_eq!(s.rhs.len(), s.a.n_rows());
+            assert_eq!(s.x0.len(), s.a.n_rows());
+            s.partition(Scale::Small).unwrap().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn figure_iterations_scaled() {
+        let s = TestSystem::build(TestMatrix::Fv3, Scale::Small).unwrap();
+        assert_eq!(s.figure_iterations(Scale::Full), 25000);
+        assert_eq!(s.figure_iterations(Scale::Small), 1000);
+        let t = TestSystem::build(TestMatrix::Trefethen2000, Scale::Small).unwrap();
+        assert_eq!(t.figure_iterations(Scale::Full), 200);
+        assert_eq!(t.figure_iterations(Scale::Small), 40);
+    }
+}

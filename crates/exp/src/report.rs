@@ -1,0 +1,219 @@
+//! Output plumbing: tables (for the paper's tables) and series (for its
+//! figures), rendered as markdown/plain text and optionally CSV.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A rectangular results table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption (e.g. "Table 5: average iteration timings \[s\]").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables contain only strings")
+    }
+}
+
+/// One labelled data series of a figure: `(x, y)` points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { label: label.into(), points }
+    }
+
+    /// Linear interpolation of `y` at `x` (clamped to the data range).
+    /// Points must be sorted by `x`.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if x <= self.points[0].0 {
+            return Some(self.points[0].1);
+        }
+        if x >= self.points[self.points.len() - 1].0 {
+            return Some(self.points[self.points.len() - 1].1);
+        }
+        let i = self.points.partition_point(|&(px, _)| px < x);
+        let (x0, y0) = self.points[i - 1];
+        let (x1, y1) = self.points[i];
+        Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    }
+}
+
+/// A figure: several series plus axis labels; renders as a compact text
+/// listing (for EXPERIMENTS.md) and CSV (one column per series).
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Figure caption.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Figure {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders a text summary: per series, samples at up to `samples`
+    /// evenly spaced points of its own x-range.
+    pub fn to_text(&self, samples: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} ({} vs {})\n", self.title, self.y_label, self.x_label);
+        for s in &self.series {
+            let _ = writeln!(out, "  {}:", s.label);
+            let n = s.points.len();
+            if n == 0 {
+                continue;
+            }
+            let step = (n / samples.max(1)).max(1);
+            for (i, &(x, y)) in s.points.iter().enumerate() {
+                if i % step == 0 || i + 1 == n {
+                    let _ = writeln!(out, "    {x:>12.4}  {y:>14.6e}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders long-form CSV: `series,x,y`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", s.label);
+            }
+        }
+        out
+    }
+
+    /// Renders JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figures contain only plain data")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_markdown_shape() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(t.to_csv().contains("a,b\n1,2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn series_interpolation() {
+        let s = Series::new("s", vec![(0.0, 0.0), (2.0, 4.0)]);
+        assert_eq!(s.interpolate(1.0), Some(2.0));
+        assert_eq!(s.interpolate(-1.0), Some(0.0));
+        assert_eq!(s.interpolate(5.0), Some(4.0));
+        assert_eq!(Series::new("e", vec![]).interpolate(1.0), None);
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"demo\""), "{j}");
+        let mut f = Figure::new("fig", "x", "y");
+        f.push(Series::new("s", vec![(1.0, 2.0)]));
+        assert!(f.to_json().contains("\"points\""));
+    }
+
+    #[test]
+    fn figure_csv_long_form() {
+        let mut f = Figure::new("fig", "x", "y");
+        f.push(Series::new("a", vec![(1.0, 2.0)]));
+        let csv = f.to_csv();
+        assert!(csv.starts_with("series,x,y\n"));
+        assert!(csv.contains("a,1,2"));
+        assert!(f.to_text(5).contains("### fig"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Across-run statistics — the columns of the paper's Tables 2 and 3.
+
+/// Statistics of one observable (e.g. the relative residual at a fixed
+/// global-iteration checkpoint) across repeated solver runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStatistics {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Absolute variation `max - min`.
+    pub abs_variation: f64,
+    /// Relative variation `(max - min) / mean`.
+    pub rel_variation: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std_deviation: f64,
+    /// Standard error of the mean `sigma / sqrt(runs)`.
+    pub std_error: f64,
+}
+
+impl RunStatistics {
+    /// Aggregates a non-empty sample.
+    pub fn from_samples(samples: &[f64]) -> RunStatistics {
+        assert!(!samples.is_empty(), "statistics need at least one sample");
+        let runs = samples.len();
+        let mean = samples.iter().sum::<f64>() / runs as f64;
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let variance =
+            samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / runs as f64;
+        let std_deviation = variance.sqrt();
+        RunStatistics {
+            runs,
+            mean,
+            max,
+            min,
+            abs_variation: max - min,
+            rel_variation: if mean != 0.0 { (max - min) / mean } else { 0.0 },
+            variance,
+            std_deviation,
+            std_error: std_deviation / (runs as f64).sqrt(),
+        }
+    }
+}
+
+/// Aggregates residual histories from many runs at fixed checkpoints:
+/// `histories[r][k]` is run `r`'s residual after global iteration `k + 1`;
+/// the result holds one [`RunStatistics`] per requested checkpoint (1-based
+/// iteration counts).
+pub fn checkpoint_statistics(
+    histories: &[Vec<f64>],
+    checkpoints: &[usize],
+) -> Vec<(usize, RunStatistics)> {
+    checkpoints
+        .iter()
+        .filter_map(|&cp| {
+            assert!(cp >= 1, "checkpoints are 1-based iteration counts");
+            let samples: Vec<f64> =
+                histories.iter().filter_map(|h| h.get(cp - 1).copied()).collect();
+            (samples.len() == histories.len())
+                .then(|| (cp, RunStatistics::from_samples(&samples)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = RunStatistics::from_samples(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.abs_variation, 0.0);
+        assert_eq!(s.rel_variation, 0.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.std_error, 0.0);
+    }
+
+    #[test]
+    fn simple_sample() {
+        let s = RunStatistics::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.abs_variation, 2.0);
+        assert_eq!(s.rel_variation, 1.0);
+        assert_eq!(s.variance, 1.0);
+        assert_eq!(s.std_deviation, 1.0);
+        assert!((s.std_error - 1.0 / 2.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_mean_has_zero_rel_variation() {
+        let s = RunStatistics::from_samples(&[-1.0, 1.0]);
+        assert_eq!(s.rel_variation, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        RunStatistics::from_samples(&[]);
+    }
+
+    #[test]
+    fn checkpoints_pick_correct_iterations() {
+        let h1 = vec![0.5, 0.25, 0.125];
+        let h2 = vec![0.6, 0.30, 0.150];
+        let stats = checkpoint_statistics(&[h1, h2], &[1, 3]);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, 1);
+        assert!((stats[0].1.mean - 0.55).abs() < 1e-15);
+        assert_eq!(stats[1].0, 3);
+        assert!((stats[1].1.mean - 0.1375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn short_histories_skip_checkpoint() {
+        let h1 = vec![0.5, 0.25];
+        let h2 = vec![0.6];
+        let stats = checkpoint_statistics(&[h1, h2], &[1, 2]);
+        assert_eq!(stats.len(), 1, "iteration 2 missing from one run");
+        assert_eq!(stats[0].0, 1);
+    }
+}

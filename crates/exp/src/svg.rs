@@ -1,0 +1,227 @@
+//! Minimal SVG line-plot renderer for the experiment figures — no plotting
+//! dependency, just enough to draw the paper's residual curves (log-scale
+//! y-axis, legend, categorical colours) into standalone `.svg` files next
+//! to the CSV output.
+
+use crate::report::Figure;
+use std::fmt::Write as _;
+
+/// Plot dimensions and margins.
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_LEFT: f64 = 80.0;
+const MARGIN_RIGHT: f64 = 180.0;
+const MARGIN_TOP: f64 = 48.0;
+const MARGIN_BOTTOM: f64 = 56.0;
+
+/// Categorical colours (colour-blind-safe-ish).
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+/// Renders the figure as an SVG document with a log10 y-axis (the natural
+/// scale for residual plots). Non-positive y values are clamped to the
+/// smallest positive value present.
+pub fn figure_to_svg(fig: &Figure) -> String {
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+
+    // data ranges
+    let mut x_min = f64::INFINITY;
+    let mut x_max = f64::NEG_INFINITY;
+    let mut y_min_pos = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for s in &fig.series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            if y > 0.0 {
+                y_min_pos = y_min_pos.min(y);
+            }
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || !y_min_pos.is_finite() || y_max <= 0.0 {
+        // nothing plottable: emit an empty chart with the title
+        return format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\">\
+             <text x=\"20\" y=\"30\">{} (no data)</text></svg>",
+            xml_escape(&fig.title)
+        );
+    }
+    if x_max <= x_min {
+        x_max = x_min + 1.0;
+    }
+    let ly_min = y_min_pos.log10().floor();
+    let ly_max = y_max.log10().ceil().max(ly_min + 1.0);
+
+    let sx = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| {
+        let ly = y.max(y_min_pos).log10();
+        MARGIN_TOP + (ly_max - ly) / (ly_max - ly_min) * plot_h
+    };
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>\n"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"24\" font-size=\"15\" font-weight=\"bold\">{}</text>",
+        MARGIN_LEFT,
+        xml_escape(&fig.title)
+    );
+
+    // y grid lines at integer decades (cap at ~12 labels)
+    let decades = (ly_max - ly_min) as i64;
+    let stride = (decades / 12 + 1).max(1);
+    let mut d = ly_min as i64;
+    while d <= ly_max as i64 {
+        let y = sy(10f64.powi(d as i32));
+        let _ = writeln!(
+            out,
+            "<line x1=\"{MARGIN_LEFT}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" \
+             stroke=\"#dddddd\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">1e{d}</text>",
+            WIDTH - MARGIN_RIGHT,
+            MARGIN_LEFT - 8.0,
+            y + 4.0
+        );
+        d += stride;
+    }
+    // x axis ticks (5 of them)
+    for t in 0..=4 {
+        let x_val = x_min + (x_max - x_min) * t as f64 / 4.0;
+        let x = sx(x_val);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#999999\"/>\n\
+             <text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            HEIGHT - MARGIN_BOTTOM,
+            HEIGHT - MARGIN_BOTTOM + 6.0,
+            HEIGHT - MARGIN_BOTTOM + 22.0,
+            format_tick(x_val)
+        );
+    }
+    // axis labels
+    let _ = writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+        MARGIN_LEFT + plot_w / 2.0,
+        HEIGHT - 12.0,
+        xml_escape(&fig.x_label)
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"16\" y=\"{:.1}\" transform=\"rotate(-90 16 {:.1})\" text-anchor=\"middle\">{}</text>",
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        xml_escape(&fig.y_label)
+    );
+    // frame
+    let _ = writeln!(
+        out,
+        "<rect x=\"{MARGIN_LEFT}\" y=\"{MARGIN_TOP}\" width=\"{plot_w:.1}\" height=\"{plot_h:.1}\" \
+         fill=\"none\" stroke=\"#333333\"/>"
+    );
+
+    // series
+    for (i, s) in fig.series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        if !s.points.is_empty() {
+            let mut path = String::from("M");
+            for (k, &(x, y)) in s.points.iter().enumerate() {
+                if k > 0 {
+                    path.push('L');
+                }
+                let _ = write!(path, "{:.1},{:.1}", sx(x), sy(y));
+            }
+            let _ = writeln!(
+                out,
+                "<path d=\"{path}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"/>"
+            );
+        }
+        // legend entry
+        let ly = MARGIN_TOP + 16.0 + i as f64 * 20.0;
+        let lx = WIDTH - MARGIN_RIGHT + 12.0;
+        let _ = writeln!(
+            out,
+            "<line x1=\"{lx:.1}\" y1=\"{ly:.1}\" x2=\"{:.1}\" y2=\"{ly:.1}\" \
+             stroke=\"{color}\" stroke-width=\"2.5\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+            lx + 22.0,
+            lx + 28.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 || (v.abs() < 0.01 && v != 0.0) {
+        format!("{v:.1e}")
+    } else if v.fract().abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Series;
+
+    fn sample_figure() -> Figure {
+        let mut f = Figure::new("Demo <figure>", "iterations", "residual");
+        f.push(Series::new(
+            "method & co",
+            (1..=50).map(|k| (k as f64, 0.8f64.powi(k))).collect(),
+        ));
+        f.push(Series::new("flat", vec![(1.0, 1e-3), (50.0, 1e-3)]));
+        f
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let svg = figure_to_svg(&sample_figure());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("Demo &lt;figure&gt;"), "title must be escaped");
+        assert!(svg.contains("method &amp; co"), "legend must be escaped");
+        assert!(svg.matches("<path").count() == 2, "one path per series");
+        assert!(svg.contains("1e-3") || svg.contains("1e-4"), "log decade labels");
+    }
+
+    #[test]
+    fn empty_figure_does_not_panic() {
+        let f = Figure::new("empty", "x", "y");
+        let svg = figure_to_svg(&f);
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn zero_and_negative_values_clamped() {
+        let mut f = Figure::new("clamp", "x", "y");
+        f.push(Series::new("s", vec![(0.0, 1.0), (1.0, 0.0), (2.0, -5.0), (3.0, 1e-8)]));
+        let svg = figure_to_svg(&f);
+        assert!(svg.contains("<path"), "series must still render");
+    }
+
+    #[test]
+    fn single_point_series() {
+        let mut f = Figure::new("dot", "x", "y");
+        f.push(Series::new("p", vec![(1.0, 0.5)]));
+        let svg = figure_to_svg(&f);
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Checkpoint/restart for synchronous methods, and the comparison the
+//! paper's §4.5 argues qualitatively: a synchronous solver must
+//! checkpoint because any failure corrupts the lock-step state, and once
+//! the mean time between failures drops below the checkpoint+restart
+//! cycle "the application gets stuck in a state of constantly being
+//! restarted" — while the asynchronous iteration just keeps converging
+//! through the failure and pays only a recovery delay.
+//!
+//! Failures are deterministic here (every `mtbf` committed iterations)
+//! so the comparison is reproducible; the *work* unit is one global
+//! iteration equivalent.
+
+use abr_core::convergence::relative_residual;
+use abr_core::{jacobi, AsyncBlockSolver, SolveOptions};
+use abr_sparse::{CsrMatrix, Result, RowPartition};
+
+use crate::inject::ComponentFailure;
+
+/// Cost parameters of the checkpointed synchronous solver, in units of
+/// one global iteration's work.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPolicy {
+    /// Iterations between checkpoints.
+    pub interval: usize,
+    /// Work to write one checkpoint.
+    pub checkpoint_cost: f64,
+    /// Work to detect the failure and restart from the last checkpoint.
+    pub restart_cost: f64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy { interval: 10, checkpoint_cost: 2.0, restart_cost: 5.0 }
+    }
+}
+
+/// Outcome of a resilience run.
+#[derive(Debug, Clone)]
+pub struct ResilienceOutcome {
+    /// Total work spent (iterations + overheads), in iteration units.
+    pub work: f64,
+    /// Whether the target accuracy was reached within the work budget.
+    pub converged: bool,
+    /// Number of failures that struck during the run.
+    pub failures: usize,
+}
+
+/// Runs synchronous Jacobi to `tol` under failures every `mtbf` committed
+/// iterations. A failure destroys the in-flight state: the solver rolls
+/// back to the last checkpoint and pays the restart cost. Gives up once
+/// `work_budget` iterations' worth of work is spent.
+pub fn checkpointed_jacobi(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    tol: f64,
+    mtbf: usize,
+    policy: CheckpointPolicy,
+    work_budget: f64,
+) -> Result<ResilienceOutcome> {
+    assert!(mtbf >= 1, "mtbf in iterations must be at least 1");
+    assert!(policy.interval >= 1, "checkpoint interval must be at least 1");
+    let mut checkpoint = x0.to_vec();
+    let mut x = x0.to_vec();
+    let mut work = 0.0f64;
+    let mut failures = 0usize;
+    let mut since_checkpoint = 0usize;
+    let mut since_failure = 0usize;
+    let one_iter = SolveOptions { max_iters: 1, tol: 0.0, record_history: false, check_every: 1 };
+
+    while work < work_budget {
+        // one synchronous sweep
+        let r = jacobi(a, b, &x, &one_iter)?;
+        x = r.x;
+        work += 1.0;
+        since_checkpoint += 1;
+        since_failure += 1;
+
+        if since_failure >= mtbf {
+            // the failure corrupts the lock-step state: roll back
+            failures += 1;
+            since_failure = 0;
+            x.copy_from_slice(&checkpoint);
+            work += policy.restart_cost;
+            since_checkpoint = 0;
+            continue;
+        }
+        if relative_residual(a, b, &x) <= tol {
+            return Ok(ResilienceOutcome { work, converged: true, failures });
+        }
+        if since_checkpoint >= policy.interval {
+            checkpoint.copy_from_slice(&x);
+            work += policy.checkpoint_cost;
+            since_checkpoint = 0;
+        }
+    }
+    Ok(ResilienceOutcome { work, converged: false, failures })
+}
+
+/// Runs async-(k) to `tol` under the same failure process, without any
+/// checkpointing: every `mtbf` global iterations, 25 % of the components
+/// go dark for `recovery` iterations (reassignment), then resume. Work is
+/// just the global iterations spent.
+#[allow(clippy::too_many_arguments)] // scenario knobs; mirrors checkpointed_jacobi's signature
+pub fn checkpoint_free_async(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    partition: &RowPartition,
+    tol: f64,
+    mtbf: usize,
+    recovery: usize,
+    seed: u64,
+    work_budget: f64,
+) -> Result<ResilienceOutcome> {
+    assert!(mtbf >= 1, "mtbf in iterations must be at least 1");
+    let solver = AsyncBlockSolver::async_k(5);
+    let n = a.n_rows();
+    let max_iters = work_budget as usize;
+    // periodic outages: the dead set goes dark during the
+    // [f*mtbf, f*mtbf + recovery) window after every strike f >= 1
+    struct PeriodicOutage {
+        failure: ComponentFailure,
+        mtbf: usize,
+        recovery: usize,
+    }
+    impl abr_gpu::UpdateFilter for PeriodicOutage {
+        fn component_enabled(&self, i: usize, round: usize) -> bool {
+            if !self.failure.dead[i] {
+                return true;
+            }
+            // in an outage window following each failure strike?
+            let phase = round % self.mtbf;
+            let had_strike = round >= self.mtbf;
+            !(had_strike && phase < self.recovery)
+        }
+    }
+    let scenario = crate::FailureScenario {
+        t0: 0, // windows are driven by the periodic phase instead
+        fraction: 0.25,
+        recovery: None,
+        seed,
+    };
+    let filter = PeriodicOutage { failure: scenario.build(n), mtbf, recovery };
+    let opts = SolveOptions { max_iters, tol, record_history: false, check_every: 5 };
+    let r = solver.solve_filtered(a, b, x0, partition, &opts, &filter)?;
+    let failures = if r.iterations >= mtbf { (r.iterations - 1) / mtbf } else { 0 };
+    Ok(ResilienceOutcome { work: r.iterations as f64, converged: r.converged, failures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_sparse::gen::random_diag_dominant;
+
+    fn system() -> (CsrMatrix, Vec<f64>, Vec<f64>, RowPartition) {
+        let a = random_diag_dominant(120, 4, 1.5, 9);
+        let n = a.n_rows();
+        let b = a.mul_vec(&vec![1.0; n]).unwrap();
+        let p = RowPartition::uniform(n, 12).unwrap();
+        (a, b, vec![0.0; n], p)
+    }
+
+    #[test]
+    fn no_failures_costs_only_checkpoints() {
+        let (a, b, x0, _) = system();
+        // mtbf far beyond convergence: pure checkpoint overhead
+        let r = checkpointed_jacobi(&a, &b, &x0, 1e-9, 100_000, CheckpointPolicy::default(), 500.0)
+            .unwrap();
+        assert!(r.converged);
+        assert_eq!(r.failures, 0);
+        // converges in ~40 sweeps + ceil(40/10)-ish checkpoints * 2
+        assert!(r.work < 80.0, "work {}", r.work);
+    }
+
+    #[test]
+    fn moderate_failures_slow_but_allow_convergence() {
+        let (a, b, x0, _) = system();
+        let healthy = checkpointed_jacobi(
+            &a, &b, &x0, 1e-9, 100_000, CheckpointPolicy::default(), 2_000.0,
+        )
+        .unwrap();
+        // this system converges in ~20 sweeps, so strike at 12 with
+        // checkpoints every 5
+        let policy = CheckpointPolicy { interval: 5, checkpoint_cost: 2.0, restart_cost: 5.0 };
+        let faulty = checkpointed_jacobi(&a, &b, &x0, 1e-9, 12, policy, 2_000.0).unwrap();
+        assert!(faulty.converged);
+        assert!(faulty.failures >= 1);
+        assert!(faulty.work > healthy.work, "{} vs {}", faulty.work, healthy.work);
+    }
+
+    #[test]
+    fn mtbf_below_restart_cycle_livelocks_synchronous_solver() {
+        // The paper's exascale scenario: a failure lands before the work
+        // lost since the last checkpoint can be re-done, forever.
+        let (a, b, x0, _) = system();
+        let policy = CheckpointPolicy { interval: 10, checkpoint_cost: 2.0, restart_cost: 5.0 };
+        let r = checkpointed_jacobi(&a, &b, &x0, 1e-9, 4, policy, 1_000.0).unwrap();
+        assert!(!r.converged, "mtbf 4 < interval 10: every checkpoint window is cut short");
+        assert!(r.failures > 50, "constantly restarting: {} failures", r.failures);
+    }
+
+    #[test]
+    fn async_survives_the_same_failure_rate_without_checkpoints() {
+        let (a, b, x0, p) = system();
+        // the async method under an even harsher process (25 % of
+        // components dark for 3 of every 4 iterations)
+        let r = checkpoint_free_async(&a, &b, &x0, &p, 1e-9, 4, 3, 5, 2_000.0).unwrap();
+        assert!(r.converged, "async must converge through failures");
+        assert!(r.failures > 5);
+    }
+
+    #[test]
+    fn async_total_work_far_below_checkpointed_sync_under_stress() {
+        let (a, b, x0, p) = system();
+        let sync = checkpointed_jacobi(
+            &a,
+            &b,
+            &x0,
+            1e-9,
+            8,
+            CheckpointPolicy::default(),
+            3_000.0,
+        )
+        .unwrap();
+        let asynchronous =
+            checkpoint_free_async(&a, &b, &x0, &p, 1e-9, 8, 4, 5, 3_000.0).unwrap();
+        assert!(asynchronous.converged);
+        // either sync never finished, or it burned far more work
+        if sync.converged {
+            assert!(
+                asynchronous.work * 2.0 < sync.work,
+                "async {} vs sync {}",
+                asynchronous.work,
+                sync.work
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Convergence-delay-based anomaly detection.
+//!
+//! §4.5: "for problems where convergence is expected, a convergence delay
+//! or non-converging sequence of solution approximations indicates that a
+//! silent error has occurred." The monitor learns the geometric residual
+//! decay of the healthy method and flags iterations whose residual falls
+//! outside the predicted envelope.
+
+/// An online detector over a residual history.
+///
+/// After a learning window it extrapolates the expected geometric
+/// trajectory and flags any residual above `slack` times that envelope —
+/// this catches both sudden jumps (corruption) and creeping stagnation
+/// (frozen components), which a one-step predictor would miss because a
+/// plateau violates the expected ratio only slightly per step.
+#[derive(Debug, Clone)]
+pub struct ConvergenceMonitor {
+    /// Learned per-iteration contraction factor.
+    rate: Option<f64>,
+    /// Extrapolated envelope value for the *next* observation.
+    predicted: f64,
+    /// Iterations used for learning before detection arms itself.
+    warmup: usize,
+    /// A residual more than `slack` times the envelope trips the alarm.
+    slack: f64,
+    /// Observations so far (during warmup only).
+    seen: usize,
+    first: f64,
+}
+
+impl ConvergenceMonitor {
+    /// Creates a monitor that learns for `warmup` iterations and then
+    /// flags residuals exceeding `slack` times the extrapolated envelope.
+    pub fn new(warmup: usize, slack: f64) -> Self {
+        assert!(warmup >= 2, "need at least two residuals to learn a rate");
+        assert!(slack > 1.0, "slack must exceed 1");
+        ConvergenceMonitor { rate: None, predicted: 0.0, warmup, slack, seen: 0, first: 0.0 }
+    }
+
+    /// Feeds the next residual; returns `true` if this step looks
+    /// anomalous (convergence delay / jump — a silent-error indicator).
+    pub fn observe(&mut self, residual: f64) -> bool {
+        self.seen += 1;
+        if self.seen == 1 {
+            self.first = residual.max(f64::MIN_POSITIVE);
+        }
+        if self.seen <= self.warmup {
+            if self.seen == self.warmup {
+                // geometric-mean contraction over the warmup window
+                let last = residual.max(f64::MIN_POSITIVE);
+                let rate = (last / self.first).powf(1.0 / (self.warmup as f64 - 1.0));
+                self.rate = Some(rate.clamp(1e-8, 1.0));
+                self.predicted = last;
+            }
+            return false;
+        }
+        let rate = self.rate.expect("set at end of warmup");
+        self.predicted *= rate;
+        // Near machine precision the trajectory flattens legitimately.
+        if self.predicted < 1e-14 {
+            return false;
+        }
+        residual > self.slack * self.predicted
+    }
+
+    /// The learned contraction factor (after warmup).
+    pub fn learned_rate(&self) -> Option<f64> {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(mon: &mut ConvergenceMonitor, rs: &[f64]) -> Vec<usize> {
+        rs.iter()
+            .enumerate()
+            .filter_map(|(k, &r)| mon.observe(r).then_some(k))
+            .collect()
+    }
+
+    #[test]
+    fn clean_geometric_decay_never_trips() {
+        let mut mon = ConvergenceMonitor::new(5, 5.0);
+        let rs: Vec<f64> = (0..60).map(|k| 0.9f64.powi(k)).collect();
+        assert!(feed(&mut mon, &rs).is_empty());
+        assert!((mon.learned_rate().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_jump_detected() {
+        let mut mon = ConvergenceMonitor::new(5, 5.0);
+        let mut rs: Vec<f64> = (0..40).map(|k| 0.85f64.powi(k)).collect();
+        rs[25] *= 1e4; // silent error strikes
+        let alarms = feed(&mut mon, &rs);
+        assert!(alarms.contains(&25), "alarms: {alarms:?}");
+    }
+
+    #[test]
+    fn stagnation_detected() {
+        let mut mon = ConvergenceMonitor::new(5, 2.0);
+        let mut rs: Vec<f64> = (0..20).map(|k| 0.7f64.powi(k)).collect();
+        // stagnation: residual stops improving (frozen components)
+        let plateau = rs[19];
+        rs.extend(std::iter::repeat_n(plateau, 15));
+        let alarms = feed(&mut mon, &rs);
+        assert!(!alarms.is_empty(), "stagnation must trip the monitor");
+    }
+
+    #[test]
+    fn noise_within_slack_tolerated() {
+        let mut mon = ConvergenceMonitor::new(5, 10.0);
+        let rs: Vec<f64> = (0..50)
+            .map(|k| 0.9f64.powi(k) * (1.0 + 0.3 * ((k as f64) * 1.7).sin()))
+            .collect();
+        assert!(feed(&mut mon, &rs).is_empty());
+    }
+
+    #[test]
+    fn machine_floor_does_not_false_alarm() {
+        let mut mon = ConvergenceMonitor::new(5, 3.0);
+        let mut rs: Vec<f64> = (0..80).map(|k| 0.6f64.powi(k)).collect();
+        for r in rs.iter_mut() {
+            *r = r.max(1e-16); // flatten at machine epsilon
+        }
+        assert!(feed(&mut mon, &rs).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must exceed 1")]
+    fn invalid_slack_panics() {
+        ConvergenceMonitor::new(5, 0.5);
+    }
+}

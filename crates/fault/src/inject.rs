@@ -1,0 +1,148 @@
+//! The core-failure model: components stop updating at `t0`, optionally
+//! resuming after a recovery time.
+
+use abr_gpu::UpdateFilter;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A reproducible failure scenario (paper §4.5's setup).
+#[derive(Debug, Clone)]
+pub struct FailureScenario {
+    /// Global iteration at which the cores die.
+    pub t0: usize,
+    /// Fraction of components (cores) that die, in `[0, 1]`.
+    pub fraction: f64,
+    /// Recovery time `t_r` in global iterations after `t0`
+    /// (`recovery-(t_r)`); `None` means the components are never
+    /// reassigned.
+    pub recovery: Option<usize>,
+    /// Seed for choosing which components die.
+    pub seed: u64,
+}
+
+impl FailureScenario {
+    /// The paper's experiment: 25 % of the cores die at t0 = 10.
+    pub fn paper_default(recovery: Option<usize>, seed: u64) -> Self {
+        FailureScenario { t0: 10, fraction: 0.25, recovery, seed }
+    }
+
+    /// Materialises the scenario for an `n`-component system.
+    pub fn build(&self, n: usize) -> ComponentFailure {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        idx.shuffle(&mut rng);
+        let n_dead = ((n as f64) * self.fraction).round() as usize;
+        let mut dead = vec![false; n];
+        for &i in idx.iter().take(n_dead) {
+            dead[i] = true;
+        }
+        ComponentFailure {
+            dead,
+            from_round: self.t0,
+            until_round: self.recovery.map(|tr| self.t0 + tr),
+        }
+    }
+}
+
+/// The realised failure: an [`UpdateFilter`] that drops the dead
+/// components' updates during the outage window.
+#[derive(Debug, Clone)]
+pub struct ComponentFailure {
+    /// Which components are owned by dead cores.
+    pub dead: Vec<bool>,
+    /// First global iteration of the outage.
+    pub from_round: usize,
+    /// One past the last outage iteration (`None` = forever).
+    pub until_round: Option<usize>,
+}
+
+impl ComponentFailure {
+    /// Number of dead components.
+    pub fn n_dead(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether the outage is active at `round`.
+    pub fn active_at(&self, round: usize) -> bool {
+        round >= self.from_round && self.until_round.is_none_or(|u| round < u)
+    }
+}
+
+impl UpdateFilter for ComponentFailure {
+    fn component_enabled(&self, i: usize, round: usize) -> bool {
+        !(self.dead[i] && self.active_at(round))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_core::{AsyncBlockSolver, SolveOptions};
+    use abr_sparse::gen::random_diag_dominant;
+    use abr_sparse::RowPartition;
+
+    #[test]
+    fn scenario_kills_requested_fraction() {
+        let f = FailureScenario::paper_default(Some(10), 3).build(200);
+        assert_eq!(f.n_dead(), 50);
+        assert!(f.active_at(10));
+        assert!(f.active_at(19));
+        assert!(!f.active_at(20), "recovered at t0 + tr");
+        assert!(!f.active_at(5), "healthy before t0");
+    }
+
+    #[test]
+    fn no_recovery_is_forever() {
+        let f = FailureScenario::paper_default(None, 3).build(100);
+        assert!(f.active_at(10_000_000));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = FailureScenario::paper_default(None, 7).build(100);
+        let b = FailureScenario::paper_default(None, 7).build(100);
+        assert_eq!(a.dead, b.dead);
+        let c = FailureScenario::paper_default(None, 8).build(100);
+        assert_ne!(a.dead, c.dead);
+    }
+
+    #[test]
+    fn nonrecovering_run_stagnates_recovering_reconverges() {
+        // The Figure 10 claim, end to end on a strictly diagonally
+        // dominant system (fast convergence keeps the test cheap).
+        let a = random_diag_dominant(100, 4, 1.5, 2);
+        let n = 100;
+        let rhs = a.mul_vec(&vec![1.0; n]).unwrap();
+        let p = RowPartition::uniform(n, 10).unwrap();
+        let solver = AsyncBlockSolver::async_k(5);
+        let opts = SolveOptions::fixed_iterations(120);
+
+        let healthy = solver.solve(&a, &rhs, &vec![0.0; n], &p, &opts).unwrap();
+
+        let broken = FailureScenario::paper_default(None, 1).build(n);
+        let r_broken = solver
+            .solve_filtered(&a, &rhs, &vec![0.0; n], &p, &opts, &broken)
+            .unwrap();
+
+        let recovering = FailureScenario::paper_default(Some(20), 1).build(n);
+        let r_rec = solver
+            .solve_filtered(&a, &rhs, &vec![0.0; n], &p, &opts, &recovering)
+            .unwrap();
+
+        assert!(healthy.final_residual < 1e-8);
+        assert!(
+            r_broken.final_residual > 1e3 * healthy.final_residual.max(1e-15),
+            "non-recovering run must stagnate far above the healthy floor: {} vs {}",
+            r_broken.final_residual,
+            healthy.final_residual
+        );
+        assert!(
+            r_rec.final_residual < 1e-6,
+            "recovering run must re-converge: {}",
+            r_rec.final_residual
+        );
+        // ... with some delay relative to the healthy run.
+        assert!(r_rec.final_residual >= healthy.final_residual * 0.99);
+    }
+}

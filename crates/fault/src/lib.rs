@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # abr-fault
+//!
+//! Fault injection, recovery, and silent-error detection for the
+//! block-asynchronous relaxation method — the §4.5 experiments of the
+//! paper.
+//!
+//! The failure scenario modelled is the paper's: on a many-core system a
+//! set of cores dies at global iteration `t0`, so the components they own
+//! stop being updated. Either the runtime detects the failure and
+//! reassigns those components after a recovery time `t_r`
+//! (*recovery-(t_r)*), or it never does (*no recovery*). Because the
+//! asynchronous iteration tolerates arbitrary update delays, the
+//! recovering runs re-converge to the true solution with a bounded delay
+//! (Figure 10 / Table 6), while the non-recovering runs stagnate at a
+//! residual plateau determined by the frozen components.
+//!
+//! [`silent`] additionally models *silent* (undetected) data corruption
+//! and the convergence-delay detector the paper sketches.
+
+pub mod checkpoint;
+pub mod detect;
+pub mod inject;
+pub mod silent;
+
+pub use checkpoint::{checkpoint_free_async, checkpointed_jacobi, CheckpointPolicy};
+pub use detect::ConvergenceMonitor;
+pub use inject::{ComponentFailure, FailureScenario};
+pub use silent::run_with_silent_error;

@@ -1,0 +1,102 @@
+//! Device and host descriptors.
+//!
+//! Defaults model the paper's testbed: NVIDIA Tesla/Fermi C2070 GPUs
+//! (14 multiprocessors x 32 CUDA cores @ 1.15 GHz, 6 GB, ~144 GB/s) in a
+//! Supermicro host with two Intel Xeon E5540 @ 2.53 GHz.
+
+/// Static description of one GPU device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors; each executes one thread block
+    /// at a time in the simulator.
+    pub sm_count: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Device-memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+}
+
+impl DeviceSpec {
+    /// The Fermi C2070 used in all of the paper's experiments.
+    pub fn fermi_c2070() -> Self {
+        DeviceSpec {
+            name: "Fermi C2070".into(),
+            sm_count: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.15,
+            mem_bandwidth: 144.0e9,
+            mem_bytes: 6 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Total CUDA cores.
+    pub fn total_cores(&self) -> usize {
+        self.sm_count * self.cores_per_sm
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::fermi_c2070()
+    }
+}
+
+/// Static description of the host CPU(s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+}
+
+impl HostSpec {
+    /// The dual Xeon E5540 host of the paper.
+    pub fn dual_xeon_e5540() -> Self {
+        HostSpec {
+            name: "2x Intel Xeon E5540".into(),
+            sockets: 2,
+            cores_per_socket: 4,
+            clock_ghz: 2.53,
+        }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        HostSpec::dual_xeon_e5540()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2070_shape() {
+        let d = DeviceSpec::fermi_c2070();
+        assert_eq!(d.total_cores(), 448); // = the paper's thread-block size
+        assert_eq!(d.sm_count, 14);
+    }
+
+    #[test]
+    fn host_shape() {
+        let h = HostSpec::dual_xeon_e5540();
+        assert_eq!(h.total_cores(), 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! The kernel and filter traits connecting the numerics (abr-core) to the
+//! execution fabric (this crate).
+//!
+//! A [`BlockKernel`] is what a CUDA kernel is to the paper: given the
+//! current iterate, it computes replacement values for one thread block's
+//! rows. The executors decide *when* each block runs and *which* iterate
+//! state it observes; an [`UpdateFilter`] decides whether an update is
+//! committed at all (the fault-injection hook used by `abr-fault`).
+
+use crate::xview::XView;
+
+/// One block-update computation.
+///
+/// Implementations live in `abr-core` (the async-(k) local sweep) and in
+/// tests. They must be `Sync`: the threaded executor calls `update_block`
+/// from many threads at once.
+pub trait BlockKernel: Sync {
+    /// Length of the iterate vector.
+    fn n(&self) -> usize;
+
+    /// Number of row blocks.
+    fn n_blocks(&self) -> usize;
+
+    /// Half-open row range `[start, end)` of block `b`.
+    fn block_range(&self, b: usize) -> (usize, usize);
+
+    /// Computes new values for the rows of block `b`, reading the shared
+    /// iterate through `x`. `out` has length `end - start`.
+    fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]);
+
+    /// Relative virtual duration of one update of block `b`, in arbitrary
+    /// units (the DES executor multiplies by a seeded jitter). The default
+    /// is proportional to the block's row count.
+    fn block_cost(&self, b: usize) -> f64 {
+        let (s, e) = self.block_range(b);
+        (e - s) as f64
+    }
+
+    /// The other blocks whose components block `b` reads (its coupling
+    /// neighbourhood). When provided, the DES executor records the
+    /// realised staleness of every such read — the measured shift
+    /// function `s(k, j)` of the paper's Eq. (3). `None` (the default)
+    /// disables the measurement.
+    fn neighbor_blocks(&self, b: usize) -> Option<&[usize]> {
+        let _ = b;
+        None
+    }
+}
+
+/// Decides whether updates are committed — the fault-injection hook.
+///
+/// `round` is the per-block update count (the block's own global-iteration
+/// index) at the time of the update.
+pub trait UpdateFilter: Sync {
+    /// If `false`, the executor skips computing block `b` entirely at its
+    /// `round`-th opportunity (e.g. the core owning it is down).
+    fn block_enabled(&self, block: usize, round: usize) -> bool {
+        let _ = (block, round);
+        true
+    }
+
+    /// If `false`, the computed value for component `i` is discarded at
+    /// this `round` (the component's core is down); the old value stays.
+    fn component_enabled(&self, i: usize, round: usize) -> bool {
+        let _ = (i, round);
+        true
+    }
+}
+
+/// The trivial filter: everything runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl UpdateFilter for AllowAll {}
+
+#[cfg(test)]
+pub(crate) mod test_kernels {
+    use super::*;
+
+    /// A toy kernel for executor tests: each block's components move
+    /// halfway toward the mean of the whole vector, i.e.
+    /// `x_i <- (x_i + mean(x)) / 2`. The fixed point is the consensus
+    /// vector; convergence is robust to any update order, making it a good
+    /// probe for executor correctness.
+    pub struct ConsensusKernel {
+        pub n: usize,
+        pub block_size: usize,
+    }
+
+    impl BlockKernel for ConsensusKernel {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn n_blocks(&self) -> usize {
+            self.n.div_ceil(self.block_size)
+        }
+        fn block_range(&self, b: usize) -> (usize, usize) {
+            let s = b * self.block_size;
+            (s, (s + self.block_size).min(self.n))
+        }
+        fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]) {
+            let mean: f64 = (0..self.n).map(|i| x.get(i)).sum::<f64>() / self.n as f64;
+            let (s, e) = self.block_range(b);
+            for (o, i) in out.iter_mut().zip(s..e) {
+                *o = 0.5 * (x.get(i) + mean);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_kernels::ConsensusKernel;
+    use super::*;
+
+    #[test]
+    fn default_cost_is_block_length() {
+        let k = ConsensusKernel { n: 10, block_size: 4 };
+        assert_eq!(k.n_blocks(), 3);
+        assert_eq!(k.block_cost(0), 4.0);
+        assert_eq!(k.block_cost(2), 2.0); // last block has 2 rows
+    }
+
+    #[test]
+    fn allow_all_allows() {
+        let f = AllowAll;
+        assert!(f.block_enabled(3, 100));
+        assert!(f.component_enabled(7, 0));
+    }
+
+    #[test]
+    fn consensus_kernel_moves_toward_mean() {
+        let k = ConsensusKernel { n: 4, block_size: 4 };
+        let x = [0.0, 0.0, 4.0, 4.0];
+        let mut out = [0.0; 4];
+        k.update_block(0, &XView::Plain(&x), &mut out);
+        assert_eq!(out, [1.0, 1.0, 3.0, 3.0]);
+    }
+}

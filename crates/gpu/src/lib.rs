@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # abr-gpu
+//!
+//! A GPU execution substrate for the block-asynchronous relaxation
+//! experiments, replacing the CUDA/Fermi testbed of the paper (see
+//! DESIGN.md §2 for the substitution argument). Two independent concerns
+//! are modelled:
+//!
+//! 1. **Update ordering** — the chaotic interleaving of thread-block
+//!    updates that drives the numerics of asynchronous iteration. Provided
+//!    by two executors with a common interface:
+//!    [`sim::SimExecutor`] (a seeded discrete-event simulation of SMs
+//!    dispatching thread blocks — deterministic and reproducible) and
+//!    [`threaded::ThreadedExecutor`] (real OS threads hammering a shared
+//!    atomic vector — genuinely non-deterministic).
+//! 2. **Wall-clock cost** — a calibrated [`timing::TimingModel`] mapping
+//!    (method, matrix size, iteration counts, devices, communication
+//!    strategy) to seconds on the paper's hardware (Fermi C2070 GPUs in a
+//!    dual-socket Supermicro host). Used to regenerate Tables 4–6 and
+//!    Figures 8, 9, 11.
+
+pub mod device;
+pub mod kernel;
+pub mod occupancy;
+pub mod schedule;
+pub mod sim;
+pub mod threaded;
+pub mod timing;
+pub mod topology;
+pub mod trace;
+pub mod xview;
+
+pub use device::{DeviceSpec, HostSpec};
+pub use kernel::{BlockKernel, UpdateFilter};
+pub use occupancy::{occupancy, KernelFootprint, Occupancy, SmLimits};
+pub use schedule::{BlockSchedule, RandomPermutation, RecurringPattern, RoundRobin};
+pub use sim::{SimExecutor, SimOptions};
+pub use threaded::{ThreadedExecutor, ThreadedOptions};
+pub use timing::TimingModel;
+pub use topology::Topology;
+pub use trace::UpdateTrace;
+pub use xview::{AtomicF64Vec, XView};

@@ -1,0 +1,200 @@
+//! Fermi occupancy arithmetic: how many thread blocks fit on one SM.
+//!
+//! This is the calculation behind the paper's "empirically based tuning"
+//! of the thread-block size: 448 threads = 14 warps, so three blocks fill
+//! 42 of Fermi's 48 warp slots (87.5 % occupancy) while leaving register
+//! headroom — one of the sweet spots the tuning would find.
+
+/// Hardware limits of one streaming multiprocessor.
+#[derive(Debug, Clone, Copy)]
+pub struct SmLimits {
+    /// Maximum resident threads.
+    pub max_threads: usize,
+    /// Maximum resident blocks.
+    pub max_blocks: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Warp size.
+    pub warp_size: usize,
+    /// Register file size (32-bit registers).
+    pub registers: usize,
+    /// Shared memory in bytes.
+    pub shared_memory: usize,
+}
+
+impl SmLimits {
+    /// Fermi (compute capability 2.0) — the C2070's SM.
+    pub fn fermi() -> SmLimits {
+        SmLimits {
+            max_threads: 1536,
+            max_blocks: 8,
+            max_threads_per_block: 1024,
+            warp_size: 32,
+            registers: 32_768,
+            shared_memory: 48 * 1024,
+        }
+    }
+
+    /// Maximum resident warps (`max_threads / warp_size`).
+    pub fn max_warps(&self) -> usize {
+        self.max_threads / self.warp_size
+    }
+}
+
+/// A kernel's per-block resource footprint.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelFootprint {
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Registers per thread.
+    pub registers_per_thread: usize,
+    /// Shared memory per block in bytes.
+    pub shared_per_block: usize,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// `warps_per_sm / max_warps`, in `[0, 1]`.
+    pub fraction: f64,
+    /// Which resource capped the block count.
+    pub limited_by: Limiter,
+}
+
+/// The binding resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Hardware block-slot limit.
+    Blocks,
+    /// Thread (warp-slot) limit.
+    Threads,
+    /// Register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+    /// The block does not fit at all (zero occupancy).
+    DoesNotFit,
+}
+
+/// Computes how many blocks of the kernel fit on one SM.
+pub fn occupancy(limits: &SmLimits, kernel: &KernelFootprint) -> Occupancy {
+    let t = kernel.threads_per_block;
+    if t == 0 || t > limits.max_threads_per_block {
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            fraction: 0.0,
+            limited_by: Limiter::DoesNotFit,
+        };
+    }
+    // threads round up to whole warps
+    let warps_per_block = t.div_ceil(limits.warp_size);
+    let threads_alloc = warps_per_block * limits.warp_size;
+
+    let by_blocks = limits.max_blocks;
+    let by_threads = limits.max_threads / threads_alloc;
+    let regs_per_block = threads_alloc * kernel.registers_per_thread;
+    let by_registers = limits.registers.checked_div(regs_per_block).unwrap_or(usize::MAX);
+    let by_shared =
+        limits.shared_memory.checked_div(kernel.shared_per_block).unwrap_or(usize::MAX);
+
+    let blocks = by_blocks.min(by_threads).min(by_registers).min(by_shared);
+    let limited_by = if blocks == 0 {
+        Limiter::DoesNotFit
+    } else if blocks == by_threads && by_threads <= by_blocks.min(by_registers).min(by_shared) {
+        Limiter::Threads
+    } else if blocks == by_registers && by_registers <= by_blocks.min(by_shared) {
+        Limiter::Registers
+    } else if blocks == by_shared && by_shared <= by_blocks {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Blocks
+    };
+    let warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        fraction: warps as f64 / limits.max_warps() as f64,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light_kernel(threads: usize) -> KernelFootprint {
+        KernelFootprint { threads_per_block: threads, registers_per_thread: 20, shared_per_block: 0 }
+    }
+
+    #[test]
+    fn paper_block_size_448_hits_87_percent() {
+        let occ = occupancy(&SmLimits::fermi(), &light_kernel(448));
+        assert_eq!(occ.blocks_per_sm, 3);
+        assert_eq!(occ.warps_per_sm, 42);
+        assert!((occ.fraction - 42.0 / 48.0).abs() < 1e-12);
+        assert_eq!(occ.limited_by, Limiter::Threads);
+    }
+
+    #[test]
+    fn small_blocks_hit_the_block_slot_limit() {
+        let occ = occupancy(&SmLimits::fermi(), &light_kernel(64));
+        assert_eq!(occ.blocks_per_sm, 8, "Fermi caps at 8 blocks");
+        assert_eq!(occ.limited_by, Limiter::Blocks);
+        assert!((occ.fraction - 16.0 / 48.0).abs() < 1e-12, "only 1/3 occupancy");
+    }
+
+    #[test]
+    fn register_pressure_limits() {
+        let k = KernelFootprint {
+            threads_per_block: 512,
+            registers_per_thread: 40,
+            shared_per_block: 0,
+        };
+        // 512 * 40 = 20480 regs/block; 32768 / 20480 = 1 block
+        let occ = occupancy(&SmLimits::fermi(), &k);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limited_by, Limiter::Registers);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        let k = KernelFootprint {
+            threads_per_block: 128,
+            registers_per_thread: 8,
+            shared_per_block: 20 * 1024,
+        };
+        // 48 KiB / 20 KiB = 2 blocks
+        let occ = occupancy(&SmLimits::fermi(), &k);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limited_by, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn oversized_block_does_not_fit() {
+        let occ = occupancy(&SmLimits::fermi(), &light_kernel(2048));
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limited_by, Limiter::DoesNotFit);
+        let occ = occupancy(&SmLimits::fermi(), &light_kernel(0));
+        assert_eq!(occ.limited_by, Limiter::DoesNotFit);
+    }
+
+    #[test]
+    fn partial_warps_round_up() {
+        // 100 threads allocate 4 warps (128 thread slots)
+        let occ = occupancy(&SmLimits::fermi(), &light_kernel(100));
+        assert_eq!(occ.warps_per_sm, occ.blocks_per_sm * 4);
+    }
+
+    #[test]
+    fn full_occupancy_possible() {
+        // 192 threads, 6 warps/block: 8 blocks = 48 warps = 100 %
+        let occ = occupancy(&SmLimits::fermi(), &light_kernel(192));
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+}

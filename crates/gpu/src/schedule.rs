@@ -1,0 +1,180 @@
+//! Block-dispatch schedules.
+//!
+//! The GPU's thread-block scheduler is undocumented; §4.1 of the paper
+//! infers from its 1000-run statistics that it follows a *recurring
+//! pattern* (the linear growth of the relative variation "immediately
+//! suggests the existence of a recurring pattern in the GPU-internal
+//! scheduling"). The executors therefore take the dispatch order as a
+//! pluggable policy so the experiments can compare:
+//!
+//! * [`RoundRobin`] — blocks in index order every round (a fully
+//!   deterministic baseline; with one worker this reduces the async
+//!   method to block-Jacobi),
+//! * [`RandomPermutation`] — a fresh seeded shuffle every round
+//!   (maximum scheduling entropy),
+//! * [`RecurringPattern`] — one seeded shuffle fixed for the whole run
+//!   (the paper's inferred GPU behaviour).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces the dispatch order of the `n_blocks` block updates of one
+/// round. Stateful: random policies advance their RNG between rounds.
+pub trait BlockSchedule: Send {
+    /// Writes the block order for `round` into `out` (cleared first).
+    fn order(&mut self, round: usize, n_blocks: usize, out: &mut Vec<usize>);
+}
+
+/// Blocks in index order, every round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl BlockSchedule for RoundRobin {
+    fn order(&mut self, _round: usize, n_blocks: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..n_blocks);
+    }
+}
+
+/// A fresh random permutation every round.
+#[derive(Debug)]
+pub struct RandomPermutation {
+    rng: StdRng,
+}
+
+impl RandomPermutation {
+    /// Seeded constructor; the same seed reproduces the same run.
+    pub fn new(seed: u64) -> Self {
+        RandomPermutation { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl BlockSchedule for RandomPermutation {
+    fn order(&mut self, _round: usize, n_blocks: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..n_blocks);
+        out.shuffle(&mut self.rng);
+    }
+}
+
+/// One random permutation, fixed for the whole run — the paper's inferred
+/// GPU scheduling behaviour.
+#[derive(Debug)]
+pub struct RecurringPattern {
+    seed: u64,
+    cached: Vec<usize>,
+}
+
+impl RecurringPattern {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        RecurringPattern { seed, cached: Vec::new() }
+    }
+}
+
+impl BlockSchedule for RecurringPattern {
+    fn order(&mut self, _round: usize, n_blocks: usize, out: &mut Vec<usize>) {
+        if self.cached.len() != n_blocks {
+            self.cached = (0..n_blocks).collect();
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            self.cached.shuffle(&mut rng);
+        }
+        out.clear();
+        out.extend_from_slice(&self.cached);
+    }
+}
+
+/// Flattens `rounds` rounds of a schedule into one ticket list, used by the
+/// threaded executor (whose workers grab tickets from an atomic counter).
+pub fn flatten_schedule(
+    schedule: &mut dyn BlockSchedule,
+    n_blocks: usize,
+    rounds: usize,
+) -> Vec<u32> {
+    let mut tickets = Vec::with_capacity(n_blocks * rounds);
+    let mut order = Vec::new();
+    for round in 0..rounds {
+        schedule.order(round, n_blocks, &mut order);
+        debug_assert_eq!(order.len(), n_blocks);
+        tickets.extend(order.iter().map(|&b| b as u32));
+    }
+    tickets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(v: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        if v.len() != n {
+            return false;
+        }
+        for &b in v {
+            if b >= n || seen[b] {
+                return false;
+            }
+            seen[b] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn round_robin_in_order() {
+        let mut s = RoundRobin;
+        let mut out = Vec::new();
+        s.order(0, 5, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        s.order(7, 5, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_permutation_valid_and_varying() {
+        let mut s = RandomPermutation::new(42);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        s.order(0, 20, &mut a);
+        s.order(1, 20, &mut b);
+        assert!(is_permutation(&a, 20));
+        assert!(is_permutation(&b, 20));
+        assert_ne!(a, b, "two rounds should (almost surely) differ");
+    }
+
+    #[test]
+    fn random_permutation_reproducible() {
+        let mut s1 = RandomPermutation::new(7);
+        let mut s2 = RandomPermutation::new(7);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for round in 0..5 {
+            s1.order(round, 16, &mut a);
+            s2.order(round, 16, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn recurring_pattern_repeats() {
+        let mut s = RecurringPattern::new(3);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        s.order(0, 12, &mut a);
+        s.order(5, 12, &mut b);
+        assert_eq!(a, b);
+        assert!(is_permutation(&a, 12));
+        // usually not the identity
+        assert_ne!(a, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flatten_covers_each_round() {
+        let mut s = RandomPermutation::new(1);
+        let tickets = flatten_schedule(&mut s, 6, 4);
+        assert_eq!(tickets.len(), 24);
+        for round in 0..4 {
+            let slice: Vec<usize> =
+                tickets[round * 6..(round + 1) * 6].iter().map(|&b| b as usize).collect();
+            assert!(is_permutation(&slice, 6), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The real-threads executor: genuine asynchronous chaos.
+//!
+//! Where [`crate::sim::SimExecutor`] *simulates* asynchrony reproducibly,
+//! this executor realises it physically: OS worker threads grab block
+//! tickets from an atomic counter and update a shared [`AtomicF64Vec`]
+//! with relaxed loads and stores, with no synchronisation whatsoever
+//! between updates — precisely the situation of the paper's CUDA kernels
+//! running through unsynchronised streams. Results are therefore
+//! non-deterministic run to run; the integration tests check that the
+//! *achieved residual* agrees with the DES executor, which is the claim
+//! the paper's §4.1 statistics make about the method.
+
+use crate::kernel::{BlockKernel, UpdateFilter};
+use crate::schedule::{flatten_schedule, BlockSchedule};
+use crate::trace::UpdateTrace;
+use crate::xview::{AtomicF64Vec, XView};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Options for [`ThreadedExecutor`].
+#[derive(Debug, Clone)]
+pub struct ThreadedOptions {
+    /// Number of OS worker threads. Defaults to the machine's available
+    /// parallelism (capped at 8 — beyond that the tiny test systems just
+    /// produce scheduler noise).
+    pub n_workers: usize,
+    /// When true, the worker that takes the last ticket of each round
+    /// snapshots the (racy, mid-flight) iterate — the observable the
+    /// non-determinism study records.
+    pub snapshot_rounds: bool,
+}
+
+impl Default for ThreadedOptions {
+    fn default() -> Self {
+        let par = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        ThreadedOptions { n_workers: par.min(8), snapshot_rounds: false }
+    }
+}
+
+/// The real-threads executor.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedExecutor {
+    /// Execution options.
+    pub opts: ThreadedOptions,
+}
+
+impl ThreadedExecutor {
+    /// Creates an executor with the given options.
+    pub fn new(opts: ThreadedOptions) -> Self {
+        ThreadedExecutor { opts }
+    }
+
+    /// Runs `rounds` rounds over a copy of `x0`; returns the final iterate,
+    /// the trace, and (if `snapshot_rounds`) one snapshot per round in
+    /// round order.
+    pub fn run(
+        &self,
+        kernel: &dyn BlockKernel,
+        x0: &[f64],
+        rounds: usize,
+        schedule: &mut dyn BlockSchedule,
+        filter: &dyn UpdateFilter,
+    ) -> (Vec<f64>, UpdateTrace, Vec<Vec<f64>>) {
+        let nb = kernel.n_blocks();
+        assert_eq!(x0.len(), kernel.n(), "iterate length must match kernel");
+        let mut trace = UpdateTrace::new(nb);
+        if nb == 0 || rounds == 0 {
+            return (x0.to_vec(), trace, Vec::new());
+        }
+        let tickets = flatten_schedule(schedule, nb, rounds);
+        let x = AtomicF64Vec::from_slice(x0);
+        let next = AtomicUsize::new(0);
+        let counts: Vec<AtomicUsize> = (0..nb).map(|_| AtomicUsize::new(0)).collect();
+        // Prevents two workers updating the same block concurrently,
+        // which bounds how far one block's committed updates can reorder
+        // (on the hardware, a block's updates are consecutive kernels of
+        // one stream). Note this is mutual exclusion, not strict ticket
+        // order: a later ticket can occasionally commit first, which is
+        // just one more admissible chaotic ordering.
+        let in_flight: Vec<std::sync::atomic::AtomicBool> =
+            (0..nb).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+        let skipped = AtomicUsize::new(0);
+        let snapshots: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+        let started = Instant::now();
+
+        let workers = self.opts.n_workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut out: Vec<f64> = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tickets.len() {
+                            break;
+                        }
+                        let block = tickets[t] as usize;
+                        let round = t / nb;
+                        if filter.block_enabled(block, round) {
+                            while in_flight[block]
+                                .compare_exchange_weak(
+                                    false,
+                                    true,
+                                    Ordering::Acquire,
+                                    Ordering::Relaxed,
+                                )
+                                .is_err()
+                            {
+                                std::hint::spin_loop();
+                            }
+                            let (s, e) = kernel.block_range(block);
+                            out.clear();
+                            out.resize(e - s, 0.0);
+                            kernel.update_block(block, &XView::Atomic(&x), &mut out);
+                            for (k, &v) in out.iter().enumerate() {
+                                if filter.component_enabled(s + k, round) {
+                                    x.set(s + k, v);
+                                }
+                            }
+                            counts[block].fetch_add(1, Ordering::Relaxed);
+                            in_flight[block].store(false, Ordering::Release);
+                        } else {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if self.opts.snapshot_rounds && (t + 1).is_multiple_of(nb) {
+                            snapshots.lock().push((round, x.snapshot()));
+                        }
+                    }
+                });
+            }
+        });
+
+        trace.elapsed = started.elapsed().as_secs_f64();
+        trace.updates_per_block =
+            counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        trace.skipped_updates = skipped.load(Ordering::Relaxed);
+        let mut snaps = snapshots.into_inner();
+        snaps.sort_by_key(|(round, _)| *round);
+        (x.snapshot(), trace, snaps.into_iter().map(|(_, s)| s).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::ConsensusKernel;
+    use crate::kernel::AllowAll;
+    use crate::schedule::{RandomPermutation, RoundRobin};
+
+    #[test]
+    fn consensus_converges_with_real_threads() {
+        let kernel = ConsensusKernel { n: 48, block_size: 5 };
+        let x0: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let exec = ThreadedExecutor::default();
+        let mut sched = RandomPermutation::new(11);
+        let (x, trace, _) = exec.run(&kernel, &x0, 80, &mut sched, &AllowAll);
+        let mean = x.iter().sum::<f64>() / 48.0;
+        for &v in &x {
+            assert!((v - mean).abs() < 1e-5, "not converged: {v} vs {mean}");
+        }
+        assert_eq!(trace.total_updates(), 80 * kernel.n_blocks());
+    }
+
+    #[test]
+    fn snapshots_cover_rounds() {
+        let kernel = ConsensusKernel { n: 12, block_size: 4 };
+        let x0 = vec![1.0; 12];
+        let exec = ThreadedExecutor::new(ThreadedOptions { n_workers: 3, snapshot_rounds: true });
+        let (_, _, snaps) = exec.run(&kernel, &x0, 6, &mut RoundRobin, &AllowAll);
+        assert_eq!(snaps.len(), 6);
+        for s in &snaps {
+            assert_eq!(s.len(), 12);
+        }
+    }
+
+    #[test]
+    fn filter_respected() {
+        struct FreezeAll;
+        impl UpdateFilter for FreezeAll {
+            fn component_enabled(&self, _i: usize, _round: usize) -> bool {
+                false
+            }
+        }
+        let kernel = ConsensusKernel { n: 10, block_size: 2 };
+        let x0: Vec<f64> = (0..10).map(|i| i as f64 * 2.0).collect();
+        let exec = ThreadedExecutor::default();
+        let (x, trace, _) = exec.run(&kernel, &x0, 5, &mut RoundRobin, &FreezeAll);
+        assert_eq!(x, x0, "all writes filtered: iterate unchanged");
+        // blocks still executed (the cores ran, their writes were dropped)
+        assert_eq!(trace.total_updates(), 5 * 5);
+    }
+
+    #[test]
+    fn zero_rounds_noop() {
+        let kernel = ConsensusKernel { n: 4, block_size: 2 };
+        let exec = ThreadedExecutor::default();
+        let (x, trace, snaps) = exec.run(&kernel, &[9.0; 4], 0, &mut RoundRobin, &AllowAll);
+        assert_eq!(x, vec![9.0; 4]);
+        assert_eq!(trace.total_updates(), 0);
+        assert!(snaps.is_empty());
+    }
+}

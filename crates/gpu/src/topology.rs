@@ -1,0 +1,136 @@
+//! Host/device topology: which GPU hangs off which socket, and what the
+//! links cost.
+//!
+//! The paper's Supermicro X8DTG-QF board attaches two GPUs to each of two
+//! CPU sockets; traffic between GPUs on different sockets crosses the QPI
+//! link, which §4.6 identifies as the reason three-GPU runs are *slower*
+//! than two-GPU runs. CUDA 4.0 GPU-direct peer access additionally only
+//! works between GPUs on the same socket.
+
+use crate::device::{DeviceSpec, HostSpec};
+
+/// A host with some number of GPUs and the interconnect characteristics.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Host CPU description.
+    pub host: HostSpec,
+    /// The attached devices.
+    pub devices: Vec<DeviceSpec>,
+    /// Socket each device's PCIe lanes terminate at.
+    pub socket_of_device: Vec<usize>,
+    /// Effective PCIe x16 bandwidth (bytes/s) between host memory and a
+    /// device on the same socket.
+    pub pcie_bandwidth: f64,
+    /// Effective QPI bandwidth (bytes/s) for traffic crossing sockets.
+    pub qpi_bandwidth: f64,
+    /// One-way transfer latency per PCIe transaction (seconds).
+    pub pcie_latency: f64,
+}
+
+impl Topology {
+    /// The paper's system with `n_gpus` (1..=4) of the four C2070s in use.
+    /// Devices 0, 1 sit on socket 0; devices 2, 3 on socket 1.
+    pub fn supermicro(n_gpus: usize) -> Self {
+        assert!((1..=4).contains(&n_gpus), "the testbed has 4 GPUs");
+        Topology {
+            host: HostSpec::dual_xeon_e5540(),
+            devices: vec![DeviceSpec::fermi_c2070(); n_gpus],
+            socket_of_device: (0..n_gpus).map(|d| d / 2).collect(),
+            // ~3.2 GB/s effective for pinned transfers on Gen2 x16,
+            // ~2.0 GB/s across QPI (the penalty §4.6 observes).
+            pcie_bandwidth: 3.2e9,
+            qpi_bandwidth: 2.0e9,
+            pcie_latency: 10.0e-6,
+        }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` if devices `a` and `b` can use GPU-direct peer access
+    /// (CUDA 4.0: only within a socket).
+    pub fn peer_access(&self, a: usize, b: usize) -> bool {
+        a != b && self.socket_of_device[a] == self.socket_of_device[b]
+    }
+
+    /// `true` if host<->device traffic for `device` crosses QPI when the
+    /// controlling process runs on socket 0 (the paper pins the host
+    /// thread there).
+    pub fn crosses_qpi(&self, device: usize) -> bool {
+        self.socket_of_device[device] != 0
+    }
+
+    /// Seconds to move `bytes` between host and `device`.
+    pub fn host_device_time(&self, device: usize, bytes: usize) -> f64 {
+        let bw = if self.crosses_qpi(device) { self.qpi_bandwidth } else { self.pcie_bandwidth };
+        self.pcie_latency + bytes as f64 / bw
+    }
+
+    /// Seconds to move `bytes` directly between two devices.
+    ///
+    /// With peer access the transfer crosses each device's PCIe link once;
+    /// without it (different sockets under CUDA 4.0) the driver stages the
+    /// copy through host memory *and* QPI, roughly doubling the cost.
+    pub fn device_device_time(&self, a: usize, b: usize, bytes: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if self.peer_access(a, b) {
+            self.pcie_latency + bytes as f64 / self.pcie_bandwidth
+        } else {
+            2.0 * self.pcie_latency
+                + bytes as f64 / self.pcie_bandwidth
+                + bytes as f64 / self.qpi_bandwidth
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::supermicro(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supermicro_sockets() {
+        let t = Topology::supermicro(4);
+        assert_eq!(t.socket_of_device, vec![0, 0, 1, 1]);
+        assert!(t.peer_access(0, 1));
+        assert!(t.peer_access(2, 3));
+        assert!(!t.peer_access(1, 2));
+        assert!(!t.peer_access(0, 0));
+    }
+
+    #[test]
+    fn qpi_crossing() {
+        let t = Topology::supermicro(4);
+        assert!(!t.crosses_qpi(0));
+        assert!(!t.crosses_qpi(1));
+        assert!(t.crosses_qpi(2));
+        assert!(t.crosses_qpi(3));
+    }
+
+    #[test]
+    fn transfer_times_ordered() {
+        let t = Topology::supermicro(4);
+        let bytes = 1 << 20;
+        let same_socket = t.device_device_time(0, 1, bytes);
+        let cross_socket = t.device_device_time(0, 2, bytes);
+        assert!(cross_socket > same_socket);
+        assert_eq!(t.device_device_time(2, 2, bytes), 0.0);
+        // host->device on socket 1 is slower than on socket 0
+        assert!(t.host_device_time(2, bytes) > t.host_device_time(0, bytes));
+    }
+
+    #[test]
+    #[should_panic(expected = "testbed has 4 GPUs")]
+    fn too_many_gpus_panics() {
+        Topology::supermicro(5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Execution traces: what the executor actually did — including the
+//! *realised* shift function of the paper's Eq. (3).
+
+use std::collections::BTreeMap;
+
+/// Histogram of realised read staleness: for each block update at its own
+/// round `r`, reading a neighbour block that had completed `c` updates
+/// counts one observation of shift `r - c`. Shift `0` is what synchronous
+/// Jacobi always sees; negative shifts are *fresher*-than-Jacobi reads
+/// (the Gauss-Seidel flavour of the asynchronous iteration); positive
+/// shifts are stale reads. The paper's admissibility condition (2)
+/// requires the positive side to be bounded, which [`StalenessHistogram::max_shift`]
+/// verifies empirically.
+#[derive(Debug, Clone, Default)]
+pub struct StalenessHistogram {
+    counts: BTreeMap<i64, u64>,
+}
+
+impl StalenessHistogram {
+    /// Records one read with the given shift.
+    pub fn record(&mut self, shift: i64) {
+        *self.counts.entry(shift).or_insert(0) += 1;
+    }
+
+    /// Total recorded reads.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Largest observed (stalest) shift, if any reads were recorded.
+    pub fn max_shift(&self) -> Option<i64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Smallest observed shift (most negative = freshest).
+    pub fn min_shift(&self) -> Option<i64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Mean shift.
+    pub fn mean_shift(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.iter().map(|(&s, &c)| s as f64 * c as f64).sum::<f64>() / total as f64
+    }
+
+    /// Fraction of reads fresher than synchronous Jacobi (shift < 0).
+    pub fn fraction_fresh(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let fresh: u64 =
+            self.counts.iter().filter(|(&s, _)| s < 0).map(|(_, &c)| c).sum();
+        fresh as f64 / total as f64
+    }
+
+    /// The `(shift, count)` pairs in increasing shift order.
+    pub fn entries(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.counts.iter().map(|(&s, &c)| (s, c))
+    }
+}
+
+/// Summary of one executor run.
+#[derive(Debug, Clone)]
+pub struct UpdateTrace {
+    /// Completed updates per block.
+    pub updates_per_block: Vec<usize>,
+    /// Largest observed skew: at some instant, the most-updated block was
+    /// this many rounds ahead of the least-updated one. Zero means the run
+    /// was effectively synchronous.
+    pub max_skew: usize,
+    /// Total virtual time of the run (DES) or wall seconds (threaded).
+    pub elapsed: f64,
+    /// Number of block updates that were skipped by the filter.
+    pub skipped_updates: usize,
+    /// Realised read-staleness distribution (empty unless the kernel
+    /// exposes its neighbour blocks; DES executor only).
+    pub staleness: StalenessHistogram,
+}
+
+impl UpdateTrace {
+    /// An empty trace for `n_blocks` blocks.
+    pub fn new(n_blocks: usize) -> Self {
+        UpdateTrace {
+            updates_per_block: vec![0; n_blocks],
+            max_skew: 0,
+            elapsed: 0.0,
+            skipped_updates: 0,
+            staleness: StalenessHistogram::default(),
+        }
+    }
+
+    /// Minimum completed rounds over all blocks — the number of *global*
+    /// iterations in the paper's counting convention.
+    pub fn global_iterations(&self) -> usize {
+        self.updates_per_block.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Total committed block updates.
+    pub fn total_updates(&self) -> usize {
+        self.updates_per_block.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_iterations_is_min() {
+        let mut t = UpdateTrace::new(3);
+        t.updates_per_block = vec![5, 3, 7];
+        assert_eq!(t.global_iterations(), 3);
+        assert_eq!(t.total_updates(), 15);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = UpdateTrace::new(0);
+        assert_eq!(t.global_iterations(), 0);
+        assert_eq!(t.total_updates(), 0);
+        assert_eq!(t.staleness.total(), 0);
+        assert_eq!(t.staleness.max_shift(), None);
+    }
+
+    #[test]
+    fn staleness_histogram_statistics() {
+        let mut h = StalenessHistogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(-1);
+        h.record(2);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max_shift(), Some(2));
+        assert_eq!(h.min_shift(), Some(-1));
+        assert!((h.mean_shift() - 0.25).abs() < 1e-15);
+        assert!((h.fraction_fresh() - 0.25).abs() < 1e-15);
+        let e: Vec<_> = h.entries().collect();
+        assert_eq!(e, vec![(-1, 1), (0, 2), (2, 1)]);
+    }
+}

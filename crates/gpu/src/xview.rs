@@ -1,0 +1,157 @@
+//! Views over the shared iterate vector.
+//!
+//! The two executors store the iterate differently — a plain `Vec<f64>`
+//! mutated in event order (DES), or a `Vec<AtomicU64>` hammered by real
+//! threads — but the numerical kernels only ever *read* components.
+//! [`XView`] gives them a single read interface over both.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared vector of `f64` values stored as atomic bit patterns, so
+/// multiple threads may read and write components without locks. All
+/// accesses use `Relaxed` ordering: the asynchronous iteration tolerates
+/// arbitrarily stale values by design (that is the entire point of the
+/// method), so no happens-before edges are needed for correctness of the
+/// algorithm — only the final join synchronises.
+#[derive(Debug)]
+pub struct AtomicF64Vec {
+    data: Vec<AtomicU64>,
+}
+
+impl AtomicF64Vec {
+    /// Creates from initial values.
+    pub fn from_slice(values: &[f64]) -> Self {
+        AtomicF64Vec {
+            data: values.iter().map(|&v| AtomicU64::new(v.to_bits())).collect(),
+        }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads component `i` (relaxed).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
+    /// Writes component `i` (relaxed).
+    #[inline]
+    pub fn set(&self, i: usize, v: f64) {
+        self.data[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copies the current state into a `Vec` (each component read
+    /// atomically; the vector as a whole may mix epochs, which is exactly
+    /// what an asynchronous observer sees).
+    pub fn snapshot(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// A read-only view of the iterate, over either storage.
+#[derive(Clone, Copy)]
+pub enum XView<'a> {
+    /// Plain storage (DES executor).
+    Plain(&'a [f64]),
+    /// Atomic storage (threaded executor).
+    Atomic(&'a AtomicF64Vec),
+}
+
+impl XView<'_> {
+    /// Reads component `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            XView::Plain(s) => s[i],
+            XView::Atomic(a) => a.get(i),
+        }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        match self {
+            XView::Plain(s) => s.len(),
+            XView::Atomic(a) => a.len(),
+        }
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_roundtrip() {
+        let v = AtomicF64Vec::from_slice(&[1.5, -2.0, 0.0]);
+        assert_eq!(v.get(0), 1.5);
+        v.set(0, 7.25);
+        assert_eq!(v.get(0), 7.25);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.snapshot(), vec![7.25, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn views_agree() {
+        let plain = [3.0, 4.0];
+        let atomic = AtomicF64Vec::from_slice(&plain);
+        let vp = XView::Plain(&plain);
+        let va = XView::Atomic(&atomic);
+        for i in 0..2 {
+            assert_eq!(vp.get(i), va.get(i));
+        }
+        assert_eq!(vp.len(), 2);
+        assert!(!va.is_empty());
+    }
+
+    #[test]
+    fn nan_and_negative_zero_preserved() {
+        let v = AtomicF64Vec::from_slice(&[f64::NAN, -0.0]);
+        assert!(v.get(0).is_nan());
+        assert!(v.get(1).is_sign_negative());
+    }
+
+    #[test]
+    fn concurrent_writes_do_not_tear() {
+        // Writers store one of two full-width patterns; readers must only
+        // ever observe one of them (atomicity), never a mix.
+        let v = std::sync::Arc::new(AtomicF64Vec::from_slice(&[1.0]));
+        let a = f64::from_bits(0xAAAA_AAAA_AAAA_AAAA);
+        let b = f64::from_bits(0x5555_5555_5555_5555);
+        let mut handles = Vec::new();
+        for pattern in [a, b] {
+            let v = v.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    v.set(0, pattern);
+                }
+            }));
+        }
+        let v2 = v.clone();
+        let reader = std::thread::spawn(move || {
+            for _ in 0..10_000 {
+                let bits = v2.get(0).to_bits();
+                assert!(
+                    bits == a.to_bits() || bits == b.to_bits() || bits == 1.0f64.to_bits(),
+                    "torn read: {bits:#x}"
+                );
+            }
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+    }
+}

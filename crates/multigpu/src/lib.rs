@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # abr-multigpu
+//!
+//! Multi-GPU block-asynchronous iteration (paper §3.4 / §4.6).
+//!
+//! The system is first split into one contiguous slice per device; each
+//! device's slice is then re-partitioned into thread blocks, and the
+//! familiar async-(k) iteration runs over the *refined* partition — the
+//! paper notes this "three-stage" view is algorithmically identical to
+//! the two-stage one because both outer levels are asynchronous. What
+//! distinguishes the three communication strategies (AMC, DC, DK) is not
+//! the numerics but *where the iterate lives and which link every
+//! exchange crosses*, i.e. the per-iteration cost — modelled by
+//! [`abr_gpu::timing::TimingModel::multi_gpu_async_iteration`].
+//!
+//! [`MultiGpuSolver`] therefore runs the real numerics once per
+//! configuration (device count changes the partition and hence the
+//! update pattern) and prices the run per strategy, which is exactly what
+//! Figure 11 reports (time-to-convergence for AMC/DC/DK × 1–4 GPUs).
+
+pub mod solver;
+
+pub use abr_gpu::timing::CommStrategy;
+pub use solver::{MultiGpuResult, MultiGpuSolver};

@@ -1,0 +1,163 @@
+//! The multi-device async-(k) driver.
+
+use abr_core::async_block::AsyncJacobiKernel;
+use abr_core::{AsyncBlockSolver, ExecutorKind, SolveOptions, SolveResult};
+use abr_gpu::timing::CommStrategy;
+use abr_gpu::{SimOptions, TimingModel, Topology};
+use abr_sparse::{CsrMatrix, Result, RowPartition};
+
+/// A multi-GPU async-(k) configuration.
+#[derive(Debug, Clone)]
+pub struct MultiGpuSolver {
+    /// The per-device async-(k) numerics.
+    pub base: AsyncBlockSolver,
+    /// Host + devices.
+    pub topology: Topology,
+    /// Which §3.4 communication scheme prices the exchanges.
+    pub strategy: CommStrategy,
+    /// Thread-block (subdomain) size within each device slice.
+    pub thread_block_size: usize,
+    /// The wall-clock cost model.
+    pub timing: TimingModel,
+}
+
+/// A solve plus its modelled wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct MultiGpuResult {
+    /// The numerical outcome.
+    pub solve: SolveResult,
+    /// Modelled seconds per global iteration (marginal).
+    pub seconds_per_iteration: f64,
+    /// Modelled total seconds including setup.
+    pub seconds_total: f64,
+}
+
+impl MultiGpuSolver {
+    /// A solver over `n_gpus` devices of the paper's testbed with the
+    /// given strategy, async-(5), thread blocks of 448.
+    pub fn supermicro(n_gpus: usize, strategy: CommStrategy) -> Self {
+        MultiGpuSolver {
+            base: AsyncBlockSolver::async_k(5),
+            topology: Topology::supermicro(n_gpus),
+            strategy,
+            thread_block_size: 448,
+            timing: TimingModel::calibrated(),
+        }
+    }
+
+    /// The device-level and refined (thread-block) partitions for an
+    /// `n`-row system.
+    pub fn partitions(&self, n: usize) -> Result<(RowPartition, RowPartition)> {
+        let devices = RowPartition::equal_count(n, self.topology.n_devices())?;
+        let blocks = devices.refine(self.thread_block_size)?;
+        Ok((devices, blocks))
+    }
+
+    /// Runs the solve and prices it.
+    pub fn solve(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        opts: &SolveOptions,
+    ) -> Result<MultiGpuResult> {
+        let (_devices, blocks) = self.partitions(a.n_rows())?;
+        // Give the executor one SM pool per device.
+        let base = match &self.base.executor {
+            ExecutorKind::Sim(sim) => AsyncBlockSolver {
+                executor: ExecutorKind::Sim(SimOptions {
+                    n_workers: sim.n_workers * self.topology.n_devices(),
+                    ..sim.clone()
+                }),
+                ..self.base.clone()
+            },
+            ExecutorKind::Threaded(_) => self.base.clone(),
+        };
+        let solve = base.solve(a, rhs, x0, &blocks, opts)?;
+        let kernel = AsyncJacobiKernel::new(a, rhs, &blocks, base.local_iters, base.damping)?;
+        let seconds_per_iteration = self.timing.multi_gpu_async_iteration(
+            &self.topology,
+            self.strategy,
+            a.n_rows(),
+            a.nnz(),
+            kernel.nnz_local(),
+            base.local_iters,
+        );
+        let seconds_total =
+            self.timing.gpu_setup + seconds_per_iteration * solve.iterations as f64;
+        Ok(MultiGpuResult { solve, seconds_per_iteration, seconds_total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_sparse::gen::trefethen;
+
+    fn system() -> (CsrMatrix, Vec<f64>) {
+        let a = trefethen(400).unwrap();
+        let rhs = a.mul_vec(&vec![1.0; 400]).unwrap();
+        (a, rhs)
+    }
+
+    #[test]
+    fn all_strategies_solve_identically_priced_differently() {
+        let (a, rhs) = system();
+        let opts = SolveOptions::fixed_iterations(40);
+        let mut times = Vec::new();
+        let mut finals = Vec::new();
+        for strategy in CommStrategy::ALL {
+            let mut s = MultiGpuSolver::supermicro(2, strategy);
+            s.thread_block_size = 64;
+            let r = s.solve(&a, &rhs, &vec![0.0; 400], &opts).unwrap();
+            assert!(r.solve.final_residual < 1e-4, "{strategy:?}: {}", r.solve.final_residual);
+            times.push(r.seconds_per_iteration);
+            finals.push(r.solve.final_residual);
+        }
+        // identical numerics (same partition, same seeds)
+        assert_eq!(finals[0], finals[1]);
+        assert_eq!(finals[1], finals[2]);
+        // different prices
+        assert_ne!(times[0], times[1]);
+        assert!(times[2] > times[1], "DK pricier than DC: {times:?}");
+    }
+
+    #[test]
+    fn partitions_nest_on_device_boundaries() {
+        let s = MultiGpuSolver::supermicro(4, CommStrategy::Amc);
+        let (devices, blocks) = s.partitions(20000).unwrap();
+        assert_eq!(devices.len(), 4);
+        blocks.validate().unwrap();
+        for b in blocks.blocks() {
+            assert_eq!(devices.block_of(b.start), devices.block_of(b.end - 1));
+        }
+    }
+
+    #[test]
+    fn amc_two_gpus_nearly_halve_iteration_time() {
+        let (a, rhs) = system();
+        let opts = SolveOptions::fixed_iterations(10);
+        let t = |g: usize| {
+            let mut s = MultiGpuSolver::supermicro(g, CommStrategy::Amc);
+            s.thread_block_size = 64;
+            s.solve(&a, &rhs, &vec![0.0; 400], &opts).unwrap().seconds_per_iteration
+        };
+        // On this small system n^2 bookkeeping is tiny, so assert the
+        // model on the paper's actual size instead.
+        let m = TimingModel::calibrated();
+        let big = |g: usize| {
+            m.multi_gpu_async_iteration(
+                &Topology::supermicro(g),
+                CommStrategy::Amc,
+                20000,
+                554466,
+                554466 / 2,
+                5,
+            )
+        };
+        assert!(big(2) < 0.6 * big(1), "{} -> {}", big(1), big(2));
+        assert!(big(3) > big(2), "QPI penalty: {} -> {}", big(2), big(3));
+        // and the end-to-end path produces *some* consistent pricing
+        assert!(t(2) > 0.0 && t(1) > 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Greedy graph colouring of a matrix's adjacency structure.
+//!
+//! Rows with distinct colours have no direct coupling, so all rows of one
+//! colour can update *simultaneously* while still using each other's
+//! freshest values — the multi-colour generalisation of red-black
+//! Gauss-Seidel, and the classical synchronous answer to the parallelism
+//! problem the paper solves with asynchrony instead. `abr-core` provides
+//! the matching multi-colour sweep; the comparison is part of the
+//! ablation story.
+
+use crate::CsrMatrix;
+
+/// Greedy first-fit colouring in natural row order. Returns one colour id
+/// per row; the number of colours is at most `max_degree + 1`.
+pub fn greedy_coloring(a: &CsrMatrix) -> Vec<usize> {
+    let n = a.n_rows();
+    let mut colors = vec![usize::MAX; n];
+    let mut forbidden: Vec<usize> = Vec::new();
+    for i in 0..n {
+        forbidden.clear();
+        for (j, _) in a.row_iter(i) {
+            if j != i && colors.get(j).copied().unwrap_or(usize::MAX) != usize::MAX {
+                forbidden.push(colors[j]);
+            }
+        }
+        // also respect the transpose couplings for nonsymmetric patterns:
+        // a row must not share a colour with rows that read it. For
+        // symmetric patterns this adds nothing; for nonsymmetric ones the
+        // caller should colour A + A^T instead (see `coloring_symmetric`).
+        let mut c = 0;
+        while forbidden.contains(&c) {
+            c += 1;
+        }
+        colors[i] = c;
+    }
+    colors
+}
+
+/// Colours the symmetrised pattern `A + A^T` — safe for nonsymmetric
+/// matrices, where both read and write dependencies must be separated.
+pub fn coloring_symmetric(a: &CsrMatrix) -> Vec<usize> {
+    let sym = a
+        .add_scaled(1.0, &a.transpose(), 1.0)
+        .expect("square matrix added to its transpose");
+    greedy_coloring(&sym)
+}
+
+/// Number of colours used by a colouring.
+pub fn n_colors(colors: &[usize]) -> usize {
+    colors.iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Verifies the colouring invariant: no stored off-diagonal entry couples
+/// two rows of the same colour.
+pub fn is_valid_coloring(a: &CsrMatrix, colors: &[usize]) -> bool {
+    if colors.len() != a.n_rows() {
+        return false;
+    }
+    for i in 0..a.n_rows() {
+        for (j, _) in a.row_iter(i) {
+            if j != i && colors[i] == colors[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{convection_diffusion_2d, laplacian_2d_5pt, trefethen};
+
+    #[test]
+    fn five_point_stencil_gets_two_colors() {
+        let a = laplacian_2d_5pt(8);
+        let colors = greedy_coloring(&a);
+        assert!(is_valid_coloring(&a, &colors));
+        assert_eq!(n_colors(&colors), 2, "checkerboard");
+    }
+
+    #[test]
+    fn trefethen_colored_validly_with_at_least_a_triangle() {
+        let a = trefethen(128).unwrap();
+        let colors = greedy_coloring(&a);
+        assert!(is_valid_coloring(&a, &colors));
+        // {i, i+1, i+2} is a triangle (distances 1, 2, 1 are all powers
+        // of two), so at least 3 colours are forced.
+        assert!(n_colors(&colors) >= 3, "got {}", n_colors(&colors));
+    }
+
+    #[test]
+    fn nonsymmetric_pattern_colored_via_symmetrisation() {
+        let a = convection_diffusion_2d(6, 0.05, 1.0, 0.0);
+        let colors = coloring_symmetric(&a);
+        assert!(is_valid_coloring(&a, &colors));
+        assert!(is_valid_coloring(&a.transpose(), &colors));
+    }
+
+    #[test]
+    fn diagonal_matrix_one_color() {
+        let a = CsrMatrix::from_diagonal(&[1.0; 10]);
+        let colors = greedy_coloring(&a);
+        assert_eq!(n_colors(&colors), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let a = laplacian_2d_5pt(3);
+        assert!(!is_valid_coloring(&a, &[0, 1]));
+    }
+}

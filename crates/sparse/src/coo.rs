@@ -1,0 +1,235 @@
+//! Coordinate-format sparse matrices, used for assembly.
+//!
+//! [`CooMatrix`] is the mutable "builder" format: entries can be pushed in
+//! any order and duplicates are summed on conversion to CSR, matching the
+//! usual finite-element assembly workflow.
+
+use crate::{CsrMatrix, Result, SparseError};
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `n_rows x n_cols` matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooMatrix { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty matrix with room for `cap` entries.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicate positions accumulate.
+    ///
+    /// Zero values are kept; they are dropped when converting to CSR.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+        Ok(())
+    }
+
+    /// Adds `value` at `(row, col)` and, if off-diagonal, also at `(col, row)`.
+    pub fn push_sym(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates over the stored triplets.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros
+    /// produced by cancellation or pushed directly.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row segment by column and
+        // compress duplicates. O(nnz log nnz_row) overall.
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; self.vals.len()];
+        {
+            let mut next = counts.clone();
+            for (k, &r) in self.rows.iter().enumerate() {
+                order[next[r]] = k;
+                next[r] += 1;
+            }
+        }
+
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx = Vec::with_capacity(self.vals.len());
+        let mut values = Vec::with_capacity(self.vals.len());
+        row_ptr.push(0);
+
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.n_rows {
+            scratch.clear();
+            for &k in &order[counts[r]..counts[r + 1]] {
+                scratch.push((self.cols[k], self.vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        CsrMatrix::from_raw_unchecked(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        let mut coo = CooMatrix::with_capacity(csr.n_rows(), csr.n_cols(), csr.nnz());
+        for row in 0..csr.n_rows() {
+            for (col, val) in csr.row_iter(row) {
+                coo.push(row, col, val).expect("CSR indices are in bounds");
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_convert() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo.push(0, 2, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(0, 2), 1.0);
+        assert_eq!(csr.get(2, 2), 4.0);
+        assert_eq!(csr.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.5).unwrap();
+        coo.push(0, 1, 2.5).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 0, -1.0).unwrap();
+        coo.push(1, 1, 5.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(matches!(coo.push(2, 0, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
+        assert!(matches!(coo.push(0, 5, 1.0), Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 1, 7.0).unwrap();
+        coo.push_sym(2, 2, 3.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 1), 7.0);
+        assert_eq!(csr.get(1, 0), 7.0);
+        assert_eq!(csr.get(2, 2), 3.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn unsorted_input_sorted_on_conversion() {
+        let mut coo = CooMatrix::new(2, 4);
+        coo.push(1, 3, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(1, 0, 3.0).unwrap();
+        coo.push(0, 0, 4.0).unwrap();
+        let csr = coo.to_csr();
+        assert!(csr.validate().is_ok());
+        assert_eq!(csr.get(1, 0), 3.0);
+        assert_eq!(csr.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn roundtrip_csr_coo_csr() {
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, (i + 1) as f64).unwrap();
+        }
+        coo.push(0, 2, -1.0).unwrap();
+        let csr = coo.to_csr();
+        let back = CooMatrix::from(&csr).to_csr();
+        assert_eq!(csr, back);
+    }
+}

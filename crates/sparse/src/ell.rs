@@ -1,0 +1,196 @@
+//! ELLPACK sparse storage — the GPU-friendly fixed-width layout the
+//! paper's CUDA kernels (and their later MAGMA incarnation) operate on.
+//!
+//! Every row is padded to the same width and the entries are stored
+//! column-major, so consecutive GPU threads (one per row) read
+//! consecutive memory — coalesced access, the property that makes the
+//! memory-bound SpMV kernels of the paper run at bandwidth. On the CPU
+//! the layout is usually *slower* than CSR; it exists here because the
+//! simulator's cost accounting (bytes touched per kernel) is defined on
+//! it, and to document the padding overhead each test matrix incurs.
+
+use crate::{CsrMatrix, Result, SparseError};
+
+/// A sparse matrix in ELLPACK format (column-major, zero-padded rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Stored entries of the source matrix (excludes padding; counts
+    /// explicitly stored zeros).
+    nnz: usize,
+    /// Entries per padded row.
+    width: usize,
+    /// `col_idx[k * n_rows + r]` = column of row `r`'s `k`-th entry
+    /// (its own row index when padding).
+    col_idx: Vec<usize>,
+    /// Values, same layout; zero when padding.
+    values: Vec<f64>,
+}
+
+impl EllMatrix {
+    /// Converts from CSR. The width is the maximum row population.
+    pub fn from_csr(a: &CsrMatrix) -> EllMatrix {
+        let n_rows = a.n_rows();
+        let width = (0..n_rows).map(|r| a.row(r).0.len()).max().unwrap_or(0);
+        let mut col_idx = vec![0usize; width * n_rows];
+        let mut values = vec![0.0f64; width * n_rows];
+        for r in 0..n_rows {
+            let (cols, vals) = a.row(r);
+            for k in 0..width {
+                let slot = k * n_rows + r;
+                if k < cols.len() {
+                    col_idx[slot] = cols[k];
+                    values[slot] = vals[k];
+                } else {
+                    // self-referencing pad with zero value: always a
+                    // valid index, contributes nothing
+                    col_idx[slot] = r.min(a.n_cols().saturating_sub(1));
+                }
+            }
+        }
+        EllMatrix { n_rows, n_cols: a.n_cols(), nnz: a.nnz(), width, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Padded row width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Stored slots including padding.
+    pub fn padded_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of stored slots that are padding (0 = perfectly regular
+    /// rows). Counted from the source matrix's entry count, so explicitly
+    /// stored zeros are *not* mistaken for padding.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / self.values.len() as f64
+    }
+
+    /// SpMV `y = A x` over the ELL layout.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.n_cols {
+            return Err(SparseError::DimensionMismatch {
+                op: "ell spmv x",
+                expected: self.n_cols,
+                found: x.len(),
+            });
+        }
+        if y.len() != self.n_rows {
+            return Err(SparseError::DimensionMismatch {
+                op: "ell spmv y",
+                expected: self.n_rows,
+                found: y.len(),
+            });
+        }
+        y.fill(0.0);
+        for k in 0..self.width {
+            let base = k * self.n_rows;
+            for r in 0..self.n_rows {
+                y[r] += self.values[base + r] * x[self.col_idx[base + r]];
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes a bandwidth-bound GPU kernel touches per SpMV (values +
+    /// indices + output), the quantity the timing model charges for.
+    pub fn kernel_bytes(&self) -> usize {
+        self.padded_len() * (8 + 4) + self.n_rows * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{laplacian_2d_5pt, trefethen};
+    use crate::CooMatrix;
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = laplacian_2d_5pt(7);
+        let e = EllMatrix::from_csr(&a);
+        let x: Vec<f64> = (0..49).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y_csr = a.mul_vec(&x).unwrap();
+        let mut y_ell = vec![0.0; 49];
+        e.spmv(&x, &mut y_ell).unwrap();
+        for (p, q) in y_csr.iter().zip(&y_ell) {
+            assert!((p - q).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn width_is_max_row_population() {
+        let a = laplacian_2d_5pt(5);
+        let e = EllMatrix::from_csr(&a);
+        assert_eq!(e.width(), 5);
+        assert_eq!(e.padded_len(), 5 * 25);
+    }
+
+    #[test]
+    fn padding_ratio_reflects_row_regularity() {
+        // 5-point stencil on 10x10: width 5, nnz = 100 + 4*90 = 460 of
+        // 500 slots -> padding 0.08 exactly.
+        let stencil = EllMatrix::from_csr(&laplacian_2d_5pt(10));
+        assert!((stencil.padding_ratio() - 0.08).abs() < 1e-12, "{}", stencil.padding_ratio());
+        // Trefethen rows are near-uniformly wide (1 + ~2 log2 n): small
+        // but nonzero padding.
+        let t = EllMatrix::from_csr(&trefethen(256).unwrap());
+        assert!(t.padding_ratio() > 0.0 && t.padding_ratio() < 0.25, "{}", t.padding_ratio());
+    }
+
+    #[test]
+    fn empty_and_irregular_rows() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 3, 2.0).unwrap();
+        coo.push(2, 1, 3.0).unwrap();
+        let a = coo.to_csr();
+        let e = EllMatrix::from_csr(&a);
+        assert_eq!(e.width(), 2);
+        let mut y = vec![0.0; 3];
+        e.spmv(&[1.0, 1.0, 1.0, 1.0], &mut y).unwrap();
+        assert_eq!(y, vec![3.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let e = EllMatrix::from_csr(&laplacian_2d_5pt(3));
+        let mut y = vec![0.0; 9];
+        assert!(e.spmv(&[0.0; 4], &mut y).is_err());
+        let mut y_bad = vec![0.0; 4];
+        assert!(e.spmv(&[0.0; 9], &mut y_bad).is_err());
+    }
+
+    #[test]
+    fn explicit_zeros_are_not_padding() {
+        // a stored zero entry is data, not padding
+        let a = CsrMatrix::from_raw(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 0.0, 2.0])
+            .unwrap();
+        let e = EllMatrix::from_csr(&a);
+        assert_eq!(e.width(), 2);
+        // 3 stored entries in 4 slots -> 25 % padding
+        assert!((e.padding_ratio() - 0.25).abs() < 1e-12, "{}", e.padding_ratio());
+    }
+
+    #[test]
+    fn kernel_bytes_accounting() {
+        let e = EllMatrix::from_csr(&laplacian_2d_5pt(4));
+        assert_eq!(e.kernel_bytes(), 5 * 16 * 12 + 16 * 8);
+    }
+}

@@ -1,0 +1,71 @@
+//! Prime sieve, used by the Trefethen matrix generator (its diagonal is the
+//! sequence of primes).
+
+/// All primes `<= limit` via the sieve of Eratosthenes.
+pub fn sieve_upto(limit: usize) -> Vec<usize> {
+    if limit < 2 {
+        return Vec::new();
+    }
+    let mut is_comp = vec![false; limit + 1];
+    let mut primes = Vec::new();
+    for p in 2..=limit {
+        if !is_comp[p] {
+            primes.push(p);
+            let mut q = p * p;
+            while q <= limit {
+                is_comp[q] = true;
+                q += p;
+            }
+        }
+    }
+    primes
+}
+
+/// The first `k` primes. Uses the prime-counting bound
+/// `p_k < k (ln k + ln ln k)` for `k >= 6` to size the sieve.
+pub fn first_primes(k: usize) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut limit = if k < 6 {
+        13
+    } else {
+        let kf = k as f64;
+        (kf * (kf.ln() + kf.ln().ln())).ceil() as usize + 16
+    };
+    loop {
+        let primes = sieve_upto(limit);
+        if primes.len() >= k {
+            return primes[..k].to_vec();
+        }
+        limit *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        assert_eq!(sieve_upto(1), Vec::<usize>::new());
+        assert_eq!(sieve_upto(2), vec![2]);
+        assert_eq!(sieve_upto(20), vec![2, 3, 5, 7, 11, 13, 17, 19]);
+    }
+
+    #[test]
+    fn first_primes_counts() {
+        assert_eq!(first_primes(0), Vec::<usize>::new());
+        assert_eq!(first_primes(1), vec![2]);
+        assert_eq!(first_primes(5), vec![2, 3, 5, 7, 11]);
+        let p = first_primes(2000);
+        assert_eq!(p.len(), 2000);
+        assert_eq!(p[1999], 17389); // the 2000th prime
+    }
+
+    #[test]
+    fn twenty_thousandth_prime() {
+        let p = first_primes(20000);
+        assert_eq!(p[19999], 224737); // the 20000th prime
+    }
+}

@@ -1,0 +1,100 @@
+//! Seeded random matrices for property-based tests.
+//!
+//! Both generators produce matrices in the convergence class the
+//! asynchronous theory requires (`rho(|B|) < 1`), so proptest can explore
+//! update orders and shift schedules while convergence remains guaranteed.
+
+use crate::{CooMatrix, CsrMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random strictly diagonally dominant symmetric matrix:
+/// `|a_ii| > sum |a_ij|` with dominance factor `margin > 1`.
+///
+/// Strict diagonal dominance implies `rho(|B|) < 1` (row sums of |B| are
+/// `< 1/margin`), so these matrices satisfy the asynchronous-convergence
+/// condition by construction.
+pub fn random_diag_dominant(n: usize, avg_off_per_row: usize, margin: f64, seed: u64) -> CsrMatrix {
+    assert!(margin > 1.0, "margin must exceed 1 for strict dominance");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * (1 + 2 * avg_off_per_row));
+    // accumulate |offdiag| row sums to size the diagonal afterwards
+    let mut off_sum = vec![0.0f64; n];
+    let n_edges = n * avg_off_per_row / 2;
+    let mut edges = std::collections::HashSet::new();
+    for _ in 0..n_edges {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let (a, b) = (i.min(j), i.max(j));
+        if !edges.insert((a, b)) {
+            continue;
+        }
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v == 0.0 {
+            continue;
+        }
+        coo.push_sym(a, b, v).expect("in bounds");
+        off_sum[a] += v.abs();
+        off_sum[b] += v.abs();
+    }
+    for (i, &s) in off_sum.iter().enumerate() {
+        coo.push(i, i, margin * s + 1.0).expect("in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Random SPD matrix built as a 1D Laplacian with random positive weights
+/// plus a positive diagonal shift — tridiagonal, with `rho(|B|) < 1`.
+pub fn random_spd_tridiag_perturbed(n: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+    let weights: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.gen_range(0.1..2.0)).collect();
+    for i in 0..n {
+        let left = if i > 0 { weights[i - 1] } else { 0.0 };
+        let right = if i + 1 < n { weights[i] } else { 0.0 };
+        let shift: f64 = rng.gen_range(0.01..0.5);
+        coo.push(i, i, left + right + shift).expect("in bounds");
+        if i + 1 < n {
+            coo.push_sym(i, i + 1, -weights[i]).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IterationMatrix;
+
+    #[test]
+    fn diag_dominant_has_small_abs_radius() {
+        for seed in 0..5 {
+            let a = random_diag_dominant(60, 4, 1.5, seed);
+            assert!(a.is_diagonally_dominant(), "seed {seed}");
+            let rho = IterationMatrix::new(&a).unwrap().spectral_radius_abs().unwrap();
+            assert!(rho < 1.0 / 1.5 + 1e-9, "seed {seed}: rho_abs = {rho}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = random_diag_dominant(40, 3, 2.0, 7);
+        let b = random_diag_dominant(40, 3, 2.0, 7);
+        assert_eq!(a, b);
+        let c = random_diag_dominant(40, 3, 2.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tridiag_spd_converges_class() {
+        for seed in 0..5 {
+            let a = random_spd_tridiag_perturbed(50, seed);
+            let it = IterationMatrix::new(&a).unwrap();
+            assert!(it.spectral_radius_abs().unwrap() < 1.0, "seed {seed}");
+            assert!(a.is_symmetric());
+        }
+    }
+}

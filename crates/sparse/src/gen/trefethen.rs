@@ -1,0 +1,71 @@
+//! The Trefethen prime matrix — the one Table 1 matrix we can reproduce
+//! **exactly**, since it is defined by a formula rather than application
+//! data: `A[i][i]` is the `(i+1)`-th prime and `A[i][j] = 1` whenever
+//! `|i - j|` is a power of two (1, 2, 4, 8, ...).
+
+use super::primes::first_primes;
+use crate::{CooMatrix, CsrMatrix};
+
+/// Builds the `n x n` Trefethen matrix.
+///
+/// For `n = 2000` this is UFMC `Trefethen_2000` (nnz = 41906); for
+/// `n = 20000` it is `Trefethen_20000` (nnz = 554466).
+pub fn trefethen(n: usize) -> crate::Result<CsrMatrix> {
+    let primes = first_primes(n);
+    let mut coo = CooMatrix::new(n, n);
+    for (i, &p) in primes.iter().enumerate() {
+        coo.push(i, i, p as f64)?;
+    }
+    let mut d = 1usize;
+    while d < n {
+        for i in 0..(n - d) {
+            coo.push_sym(i, i + d, 1.0)?;
+        }
+        d *= 2;
+    }
+    Ok(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IterationMatrix;
+
+    #[test]
+    fn matches_ufmc_nnz_2000() {
+        let a = trefethen(2000).unwrap();
+        assert_eq!(a.n_rows(), 2000);
+        assert_eq!(a.nnz(), 41906, "UFMC Trefethen_2000 has 41906 entries");
+        assert!(a.is_symmetric());
+    }
+
+    #[test]
+    fn structure_small() {
+        let a = trefethen(10).unwrap();
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(4, 4), 11.0);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(0, 2), 1.0);
+        assert_eq!(a.get(0, 3), 0.0);
+        assert_eq!(a.get(0, 4), 1.0);
+        assert_eq!(a.get(0, 8), 1.0);
+        assert_eq!(a.get(0, 5), 0.0);
+    }
+
+    #[test]
+    fn rho_near_paper_value() {
+        // Paper Table 1: rho(M) = 0.8601 for both Trefethen matrices.
+        let a = trefethen(2000).unwrap();
+        let rho = IterationMatrix::new(&a).unwrap().spectral_radius().unwrap();
+        assert!((rho - 0.8601).abs() < 5e-3, "rho = {rho}");
+    }
+
+    #[test]
+    fn diagonally_dominant_fails_for_small_rows() {
+        // Row 0 has diagonal 2 but ~log2(n) unit off-diagonals, so the
+        // matrix is NOT diagonally dominant — convergence hinges on the
+        // large prime diagonal of later rows (rho(B) < 1 nevertheless).
+        let a = trefethen(64).unwrap();
+        assert!(!a.is_diagonally_dominant());
+    }
+}

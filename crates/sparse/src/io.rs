@@ -1,0 +1,166 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! Supports the subset of the format used by the University of Florida
+//! collection: `matrix coordinate real {general|symmetric}`. Symmetric
+//! files store only the lower triangle; reading expands them.
+
+use crate::{CooMatrix, CsrMatrix, Result, SparseError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a MatrixMarket coordinate file into CSR.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?
+        .map_err(|e| SparseError::Parse(e.to_string()))?;
+    let head = header.to_ascii_lowercase();
+    if !head.starts_with("%%matrixmarket") {
+        return Err(SparseError::Parse("missing %%MatrixMarket header".into()));
+    }
+    let fields: Vec<&str> = head.split_whitespace().collect();
+    if fields.len() < 5 || fields[1] != "matrix" || fields[2] != "coordinate" {
+        return Err(SparseError::Parse(format!("unsupported header: {header}")));
+    }
+    if fields[3] != "real" && fields[3] != "integer" {
+        return Err(SparseError::Parse(format!("unsupported field type: {}", fields[3])));
+    }
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(SparseError::Parse(format!("unsupported symmetry: {other}"))),
+    };
+
+    // Skip comments, read size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| SparseError::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| SparseError::Parse(format!("bad size token {t}"))))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse("size line must have 3 numbers".into()));
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(n_rows, n_cols, if symmetric { 2 * nnz } else { nnz });
+    let mut read = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| SparseError::Parse(e.to_string()))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?;
+        let v: f64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse("MatrixMarket indices are 1-based".into()));
+        }
+        if symmetric {
+            coo.push_sym(r - 1, c - 1, v)?;
+        } else {
+            coo.push(r - 1, c - 1, v)?;
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(SparseError::Parse(format!("expected {nnz} entries, found {read}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a CSR matrix in MatrixMarket `general` coordinate format.
+pub fn write_matrix_market<W: Write>(a: &CsrMatrix, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by block-async-relax")?;
+    writeln!(writer, "{} {} {}", a.n_rows(), a.n_cols(), a.nnz())?;
+    for r in 0..a.n_rows() {
+        for (c, v) in a.row_iter(r) {
+            writeln!(writer, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.5).unwrap();
+        coo.push(2, 3, -2.25).unwrap();
+        coo.push(1, 1, 1e-30).unwrap();
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("not a matrix\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a\n\n% b\n\
+                    1 1 1\n\n\
+                    1 1 3.5\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 3.5);
+    }
+}

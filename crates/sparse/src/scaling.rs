@@ -1,0 +1,84 @@
+//! Diagonal and tau-scaling.
+//!
+//! Section 4.2 of the paper notes that for `s1rmt3m1` the plain Jacobi
+//! iteration matrix has `rho(B) ≈ 2.65 > 1`, but SPD matrices can still be
+//! handled "after a proper scaling is added, e.g., taking
+//! `B = I − τ D^{-1}A` with `τ = 2 / (λ1 + λn)`", where `λ1`, `λn` are the
+//! extreme eigenvalues of `D^{-1}A`. This module implements that remedy.
+
+use crate::spectra::lanczos_extreme;
+use crate::{CsrMatrix, Result, SparseError};
+
+/// The optimal damping factor `τ = 2 / (λ1 + λn)` for the damped Jacobi
+/// iteration on an SPD matrix, estimated via Lanczos on the symmetrised
+/// operator `D^{-1/2} A D^{-1/2}` (similar to `D^{-1}A`).
+pub fn optimal_tau(a: &CsrMatrix) -> Result<f64> {
+    let extremes = jacobi_operator_extremes(a)?;
+    let sum = extremes.0 + extremes.1;
+    if sum <= 0.0 {
+        return Err(SparseError::Generator(
+            "optimal_tau requires a positive-definite D^{-1}A".into(),
+        ));
+    }
+    Ok(2.0 / sum)
+}
+
+/// Extreme eigenvalues `(λ_min, λ_max)` of `D^{-1}A` for SPD `A`.
+pub fn jacobi_operator_extremes(a: &CsrMatrix) -> Result<(f64, f64)> {
+    let d = a.nonzero_diagonal()?;
+    if d.iter().any(|&v| v <= 0.0) {
+        return Err(SparseError::Generator(
+            "jacobi_operator_extremes requires a positive diagonal".into(),
+        ));
+    }
+    let s: Vec<f64> = d.iter().map(|&v| 1.0 / v.sqrt()).collect();
+    let op = crate::spectra::ScaledOperator { a, scale: &s };
+    let est = lanczos_extreme(&op, 200)?;
+    Ok((est.lambda_min, est.lambda_max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::laplacian_1d;
+
+    #[test]
+    fn extremes_of_laplacian() {
+        let n = 30;
+        let a = laplacian_1d(n);
+        let (lo, hi) = jacobi_operator_extremes(&a).unwrap();
+        let pi = std::f64::consts::PI;
+        // D^{-1}A eigenvalues: 1 - cos(k pi/(n+1)).
+        let exact_lo = 1.0 - (pi / (n as f64 + 1.0)).cos();
+        let exact_hi = 1.0 - ((n as f64) * pi / (n as f64 + 1.0)).cos();
+        assert!((lo - exact_lo).abs() < 1e-8, "{lo} vs {exact_lo}");
+        assert!((hi - exact_hi).abs() < 1e-8, "{hi} vs {exact_hi}");
+    }
+
+    #[test]
+    fn optimal_tau_laplacian_is_one() {
+        // lambda_min + lambda_max = 2 for the 1D Laplacian, so tau = 1.
+        let a = laplacian_1d(20);
+        let tau = optimal_tau(&a).unwrap();
+        assert!((tau - 1.0).abs() < 1e-8, "{tau}");
+    }
+
+    #[test]
+    fn optimal_tau_shifted() {
+        // A = L + I: D^{-1}A spectrum in [(3 - 2cos)/3], sum of extremes
+        // = 2, tau = 1 again by symmetry of the cosine spectrum around 1.
+        let a = laplacian_1d(16)
+            .add_scaled(1.0, &CsrMatrix::identity(16), 1.0)
+            .unwrap();
+        let tau = optimal_tau(&a).unwrap();
+        assert!((tau - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_diagonal_rejected() {
+        let a = CsrMatrix::from_diagonal(&[1.0, -2.0]);
+        assert!(jacobi_operator_extremes(&a).is_err());
+    }
+
+
+}

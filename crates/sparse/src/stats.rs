@@ -1,0 +1,78 @@
+//! Matrix characteristics for the paper's Table 1:
+//! dimension, nnz, `cond(A)`, `cond(D^{-1}A)`, and `rho(M)` for the Jacobi
+//! iteration matrix `M = I - D^{-1}A`, plus `rho(|M|)` (the asynchronous
+//! convergence bound the paper discusses in §3.1).
+
+use crate::spectra::{cond_jacobi_scaled, cond_symmetric};
+use crate::{CsrMatrix, IterationMatrix, Result};
+
+/// The Table 1 row for one matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixStats {
+    /// Dimension `n`.
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Condition-number estimate of `A` (symmetric Lanczos).
+    pub cond_a: f64,
+    /// Condition-number estimate of `D^{-1}A`.
+    pub cond_jacobi: f64,
+    /// Spectral radius of the Jacobi iteration matrix `B = I - D^{-1}A`.
+    pub rho: f64,
+    /// Spectral radius of `|B|` — the asynchronous convergence bound.
+    pub rho_abs: f64,
+    /// Whether the matrix is symmetric (within 1e-10 absolute).
+    pub symmetric: bool,
+    /// Whether the matrix is (weakly) diagonally dominant.
+    pub diag_dominant: bool,
+}
+
+/// Computes the full statistics row for a square matrix with nonzero
+/// diagonal.
+pub fn matrix_stats(a: &CsrMatrix) -> Result<MatrixStats> {
+    let it = IterationMatrix::new(a)?;
+    Ok(MatrixStats {
+        n: a.n_rows(),
+        nnz: a.nnz(),
+        cond_a: cond_symmetric(a, 160)?,
+        cond_jacobi: cond_jacobi_scaled(a)?,
+        rho: it.spectral_radius()?,
+        rho_abs: it.spectral_radius_abs()?,
+        symmetric: a.is_symmetric_within(1e-10),
+        diag_dominant: a.is_diagonally_dominant(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::laplacian_1d;
+
+    #[test]
+    fn laplacian_stats() {
+        let n = 40;
+        let a = laplacian_1d(n);
+        let s = matrix_stats(&a).unwrap();
+        assert_eq!(s.n, n);
+        assert_eq!(s.nnz, 3 * n - 2);
+        assert!(s.symmetric);
+        assert!(s.diag_dominant);
+        let exact_rho = (std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        assert!((s.rho - exact_rho).abs() < 1e-5);
+        assert!((s.rho_abs - exact_rho).abs() < 1e-5);
+        // cond(A) = cond(D^{-1}A) for constant diagonal
+        assert!((s.cond_a - s.cond_jacobi).abs() / s.cond_a < 1e-6);
+        // exact cond: (1+cos)/(1-cos)
+        let exact_cond = (1.0 + exact_rho) / (1.0 - exact_rho);
+        assert!((s.cond_a - exact_cond).abs() / exact_cond < 1e-6, "{}", s.cond_a);
+    }
+
+    #[test]
+    fn identity_stats() {
+        let a = CsrMatrix::identity(10);
+        let s = matrix_stats(&a).unwrap();
+        assert!((s.cond_a - 1.0).abs() < 1e-9);
+        assert!(s.rho.abs() < 1e-9);
+        assert!(s.rho_abs.abs() < 1e-9);
+    }
+}

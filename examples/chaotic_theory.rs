@@ -1,0 +1,79 @@
+//! The theory layer made tangible: the Chazan–Miranker chaotic iteration
+//! (paper §2.2, Eq. 3) with explicit update/shift functions, and the
+//! *measured* shift distribution of the GPU-shaped async-(5) method —
+//! showing that the executor's chaos really is an admissible asynchronous
+//! iteration (bounded shifts), which is why Strikwerda's `rho(|B|) < 1`
+//! theorem applies.
+//!
+//! ```text
+//! cargo run --release --example chaotic_theory
+//! ```
+
+use block_async_relax::core::async_block::measure_staleness;
+use block_async_relax::core::chazan::ChazanMiranker;
+use block_async_relax::core::convergence::relative_residual;
+use block_async_relax::prelude::*;
+use block_async_relax::sparse::gen;
+use block_async_relax::sparse::IterationMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A strictly diagonally dominant system: rho(|B|) < 1, so *every*
+    // admissible chaotic schedule converges.
+    let a = gen::random_diag_dominant(80, 4, 1.5, 7);
+    let b = a.mul_vec(&vec![1.0; 80]).expect("square");
+    let it = IterationMatrix::new(&a).expect("nonzero diagonal");
+    println!(
+        "rho(B) = {:.4}, rho(|B|) = {:.4}  (asynchronous convergence guaranteed)\n",
+        it.spectral_radius().expect("estimate"),
+        it.spectral_radius_abs().expect("estimate"),
+    );
+
+    // Run the abstract iteration with increasingly stale shift bounds
+    // (few sweeps, so the staleness penalty is visible before the floor).
+    println!("Chazan-Miranker iteration, 10 random sweeps:");
+    for s_max in [0usize, 2, 8, 20] {
+        let mut cm = ChazanMiranker::new(&a, &b, &vec![0.0; 80], s_max).expect("system");
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            cm.sweep_random(&mut rng);
+        }
+        let rr = relative_residual(&a, &b, cm.current());
+        println!("  shift bound {s_max:>2}: relative residual {rr:.3e}");
+    }
+
+    // The GPU-shaped method realises the same theory object; measure the
+    // shift function its executor actually produces on an fv-like system.
+    let m = 40;
+    let a = gen::laplacian_2d_9pt(m);
+    let rhs = a.mul_vec(&vec![1.0; m * m]).expect("square");
+    let p = RowPartition::uniform(m * m, 128).expect("partition");
+    println!("\nrealised shift distribution of async-(5) on a {m}x{m} FEM grid:");
+    println!("{:>12} {:>12} {:>10} {:>12}", "concurrency", "mean shift", "max shift", "fresh [%]");
+    for workers in [1usize, 4, 14] {
+        let trace = measure_staleness(
+            &a,
+            &rhs,
+            &p,
+            5,
+            SimOptions { n_workers: workers, jitter: 0.3, seed: 1 },
+            ScheduleKind::Random { seed: 1 },
+            50,
+        )
+        .expect("measurement");
+        let h = &trace.staleness;
+        println!(
+            "{:>12} {:>12.3} {:>10} {:>11.1}%",
+            workers,
+            h.mean_shift(),
+            h.max_shift().unwrap_or(0),
+            100.0 * h.fraction_fresh()
+        );
+        assert!(h.max_shift().unwrap_or(0) < 10, "shifts must stay bounded");
+    }
+    println!(
+        "\nBounded shifts = admissible schedule = guaranteed convergence\n\
+         whenever rho(|B|) < 1 — the paper's §2.2 conditions, verified live."
+    );
+}

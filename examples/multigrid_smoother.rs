@@ -1,0 +1,58 @@
+//! The paper's §5 future-work idea, implemented: block-asynchronous
+//! relaxation as the smoother inside an algebraic multigrid solver,
+//! compared against damped-Jacobi and Gauss-Seidel smoothing.
+//!
+//! ```text
+//! cargo run --release --example multigrid_smoother
+//! ```
+
+use block_async_relax::core::multigrid::Multigrid;
+use block_async_relax::core::smoother::{
+    AsyncSmoother, DampedJacobiSmoother, GaussSeidelSmoother, Smoother,
+};
+use block_async_relax::prelude::*;
+use block_async_relax::sparse::gen;
+
+fn report<S: Smoother>(name: &str, a: &CsrMatrix, b: &[f64], smoother: S) {
+    let n = a.n_rows();
+    let t = std::time::Instant::now();
+    let mg = Multigrid::new(a, smoother, 32).expect("hierarchy");
+    let r = mg
+        .solve(b, &vec![0.0; n], &SolveOptions::to_tolerance(1e-10, 100))
+        .expect("solve");
+    println!(
+        "{name:<22}: {} levels, {:>3} V-cycles, residual {:.2e}, {:?}",
+        mg.n_levels(),
+        r.iterations,
+        r.final_residual,
+        t.elapsed()
+    );
+    assert!(r.converged, "{name} failed to converge");
+}
+
+fn main() {
+    let m = 64;
+    let a = gen::laplacian_2d_5pt(m);
+    let n = a.n_rows();
+    let b = a.mul_vec(&vec![1.0; n]).expect("square");
+    println!("2D Poisson, n = {n}: V-cycle counts to 1e-10 by smoother\n");
+
+    report("damped Jacobi (2/3)", &a, &b, DampedJacobiSmoother::default());
+    report("Gauss-Seidel", &a, &b, GaussSeidelSmoother);
+    report(
+        "async-(2) blocks of 64",
+        &a,
+        &b,
+        AsyncSmoother { block_size: 64, ..Default::default() },
+    );
+
+    // For contrast: plain (non-multigrid) relaxation on the same system.
+    let plain = jacobi(&a, &b, &vec![0.0; n], &SolveOptions::to_tolerance(1e-10, 100_000))
+        .expect("solve");
+    println!(
+        "\nplain Jacobi needs {} iterations for the same tolerance — the\n\
+         multigrid hierarchy turns the asynchronous smoother into a scalable\n\
+         solver, which is exactly the exascale pitch of the paper's outlook.",
+        plain.iterations
+    );
+}

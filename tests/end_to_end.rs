@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: every solver on every (small-scale)
+//! Table 1 system, executors against each other, faults, multi-GPU, and
+//! the multigrid extension — the workspace exercised end to end.
+
+use block_async_relax::core::scaled::damped_async_solver;
+use block_async_relax::fault::FailureScenario;
+use block_async_relax::prelude::*;
+use block_async_relax::sparse::gen::{unit_solution_rhs, TestMatrix};
+
+fn small_system(which: TestMatrix) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+    let a = which.build_small().expect("generator");
+    let b = unit_solution_rhs(&a);
+    let x0 = vec![0.0; a.n_rows()];
+    (a, b, x0)
+}
+
+fn convergent_matrices() -> impl Iterator<Item = TestMatrix> {
+    TestMatrix::ALL
+        .into_iter()
+        .filter(|&m| m != TestMatrix::S1rmt3m1)
+}
+
+#[test]
+fn every_convergent_system_solved_by_every_stationary_method() {
+    for which in convergent_matrices() {
+        let (a, b, x0) = small_system(which);
+        let n = a.n_rows();
+        let opts = SolveOptions::to_tolerance(1e-9, 500_000);
+
+        let j = jacobi(&a, &b, &x0, &opts).expect("jacobi");
+        assert!(j.converged, "{}: jacobi residual {}", which.name(), j.final_residual);
+
+        let g = gauss_seidel(&a, &b, &x0, &opts).expect("gs");
+        assert!(g.converged, "{}: gs residual {}", which.name(), g.final_residual);
+        assert!(
+            g.iterations <= j.iterations,
+            "{}: GS ({}) must need no more sweeps than Jacobi ({})",
+            which.name(),
+            g.iterations,
+            j.iterations
+        );
+
+        let p = RowPartition::uniform(n, 32.min(n)).expect("partition");
+        let a5 = AsyncBlockSolver::async_k(5).solve(&a, &b, &x0, &p, &opts).expect("async");
+        assert!(a5.converged, "{}: async residual {}", which.name(), a5.final_residual);
+
+        // All agree on the (known, all-ones) solution. The error bound is
+        // residual * cond(A); fv3's deliberately graded mesh has
+        // cond ~ 1e5 even at small scale, hence the loose threshold.
+        for (label, x) in [("jacobi", &j.x), ("gs", &g.x), ("async5", &a5.x)] {
+            let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+            assert!(err < 1e-3, "{} {label}: max error {err}", which.name());
+        }
+    }
+}
+
+#[test]
+fn cg_solves_every_spd_system_including_the_jacobi_divergent_one() {
+    for which in TestMatrix::ALL {
+        let (a, b, x0) = small_system(which);
+        let opts = SolveOptions::to_tolerance(1e-9, 100_000);
+        let r = conjugate_gradient(&a, &b, &x0, &opts).expect("cg");
+        assert!(r.converged, "{}: cg residual {}", which.name(), r.final_residual);
+    }
+}
+
+#[test]
+fn damped_async_handles_the_divergent_structural_system() {
+    let (a, b, x0) = small_system(TestMatrix::S1rmt3m1);
+    let n = a.n_rows();
+    let p = RowPartition::uniform(n, 32).expect("partition");
+
+    let plain = AsyncBlockSolver::async_k(5)
+        .solve(&a, &b, &x0, &p, &SolveOptions::fixed_iterations(40))
+        .expect("async");
+    assert!(plain.final_residual > 1.0, "plain async must diverge on s1rmt3m1");
+
+    let damped = damped_async_solver(&a, 5).expect("tau estimate");
+    let r = damped
+        .solve(&a, &b, &x0, &p, &SolveOptions::to_tolerance(1e-6, 500_000))
+        .expect("damped async");
+    assert!(r.converged, "damped async residual {}", r.final_residual);
+}
+
+#[test]
+fn sim_and_threaded_executors_agree_on_the_solution() {
+    let (a, b, x0) = small_system(TestMatrix::Fv1);
+    let n = a.n_rows();
+    let p = RowPartition::uniform(n, 32).expect("partition");
+    let opts = SolveOptions::to_tolerance(1e-9, 200_000);
+
+    let sim = AsyncBlockSolver::async_k(5).solve(&a, &b, &x0, &p, &opts).expect("sim");
+    let thr = AsyncBlockSolver {
+        executor: ExecutorKind::Threaded(ThreadedOptions::default()),
+        ..AsyncBlockSolver::async_k(5)
+    }
+    .solve(&a, &b, &x0, &p, &opts)
+    .expect("threaded");
+
+    assert!(sim.converged && thr.converged);
+    let diff = sim
+        .x
+        .iter()
+        .zip(&thr.x)
+        .map(|(s, t)| (s - t).abs())
+        .fold(0.0f64, f64::max);
+    assert!(diff < 1e-6, "executors disagree by {diff}");
+}
+
+#[test]
+fn multi_gpu_matches_single_gpu_solution() {
+    let (a, b, x0) = small_system(TestMatrix::Trefethen2000);
+    let opts = SolveOptions::to_tolerance(1e-10, 10_000);
+    let mut xs = Vec::new();
+    for g in [1usize, 4] {
+        let mut solver = MultiGpuSolver::supermicro(g, CommStrategy::Amc);
+        solver.thread_block_size = 16;
+        let r = solver.solve(&a, &b, &x0, &opts).expect("solve");
+        assert!(r.solve.converged, "{g} GPUs: {}", r.solve.final_residual);
+        xs.push(r.solve.x);
+    }
+    let diff = xs[0]
+        .iter()
+        .zip(&xs[1])
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    assert!(diff < 1e-7, "device counts disagree by {diff}");
+}
+
+#[test]
+fn failed_then_recovered_solve_reaches_the_true_solution() {
+    let (a, b, x0) = small_system(TestMatrix::Fv1);
+    let n = a.n_rows();
+    let p = RowPartition::uniform(n, 32).expect("partition");
+    let scenario = FailureScenario::paper_default(Some(15), 3).build(n);
+    let r = AsyncBlockSolver::async_k(5)
+        .solve_filtered(&a, &b, &x0, &p, &SolveOptions::fixed_iterations(400), &scenario)
+        .expect("solve");
+    let err = r.x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+    assert!(err < 1e-6, "recovered run max error {err}");
+}
+
+#[test]
+fn multigrid_with_async_smoother_solves_fv3_class_problem() {
+    use block_async_relax::core::multigrid::Multigrid;
+    use block_async_relax::core::smoother::AsyncSmoother;
+    let a = block_async_relax::sparse::gen::laplacian_2d_9pt(24);
+    let n = a.n_rows();
+    let b = unit_solution_rhs(&a);
+    let mg = Multigrid::new(&a, AsyncSmoother { block_size: 36, ..Default::default() }, 24)
+        .expect("hierarchy");
+    let r = mg
+        .solve(&b, &vec![0.0; n], &SolveOptions::to_tolerance(1e-9, 100))
+        .expect("solve");
+    assert!(r.converged, "residual {}", r.final_residual);
+    assert!(r.iterations < 60, "{} cycles", r.iterations);
+}
+
+#[test]
+fn matrix_market_roundtrip_preserves_solvability() {
+    let (a, b, x0) = small_system(TestMatrix::Trefethen2000);
+    let mut buf = Vec::new();
+    block_async_relax::sparse::io::write_matrix_market(&a, &mut buf).expect("write");
+    let a2 = block_async_relax::sparse::io::read_matrix_market(&buf[..]).expect("read");
+    assert_eq!(a, a2);
+    let r = jacobi(&a2, &b, &x0, &SolveOptions::to_tolerance(1e-9, 10_000)).expect("solve");
+    assert!(r.converged);
+}

@@ -1,0 +1,140 @@
+//! Cross-crate property-based tests (proptest): the convergence theory of
+//! §2.2 and the structural invariants of the pipeline, exercised on
+//! randomly generated systems and schedules.
+
+use block_async_relax::core::chazan::solve_chaotic;
+use block_async_relax::core::convergence::relative_residual;
+use block_async_relax::prelude::*;
+use block_async_relax::sparse::gen::{random_diag_dominant, random_spd_tridiag_perturbed};
+use block_async_relax::sparse::reorder::reverse_cuthill_mckee;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Strikwerda's theorem (§2.2): whenever `rho(|B|) < 1`, the chaotic
+    /// iteration converges for *every* admissible update order and
+    /// bounded shift function. Strict diagonal dominance guarantees the
+    /// premise; the schedule and shifts are drawn at random.
+    #[test]
+    fn chaotic_iteration_converges_for_random_admissible_schedules(
+        seed in 0u64..500,
+        s_max in 0usize..6,
+        n in 10usize..40,
+    ) {
+        let a = random_diag_dominant(n, 4, 1.5, seed);
+        let rhs = a.mul_vec(&vec![1.0; n]).expect("square");
+        let x = solve_chaotic(&a, &rhs, &vec![0.0; n], s_max, 80, seed ^ 0xabcd).expect("solve");
+        let rr = relative_residual(&a, &rhs, &x);
+        prop_assert!(rr < 1e-6, "rho(|B|) < 1 must imply convergence, got {rr}");
+    }
+
+    /// async-(k) under any seeded schedule/jitter converges to the true
+    /// solution of a strictly diagonally dominant system.
+    #[test]
+    fn async_k_converges_for_random_schedules(
+        seed in 0u64..500,
+        k in 1usize..6,
+        block in 2usize..20,
+    ) {
+        let n = 60;
+        let a = random_diag_dominant(n, 4, 1.4, seed);
+        let rhs = a.mul_vec(&vec![1.0; n]).expect("square");
+        let p = RowPartition::uniform(n, block).expect("partition");
+        let solver = AsyncBlockSolver {
+            local_iters: k,
+            schedule: ScheduleKind::Random { seed },
+            executor: ExecutorKind::Sim(SimOptions { n_workers: 5, jitter: 0.4, seed }),
+            damping: 1.0,
+            local_sweep: Default::default(),
+        };
+        let r = solver
+            .solve(&a, &rhs, &vec![0.0; n], &p, &SolveOptions::to_tolerance(1e-9, 5_000))
+            .expect("solve");
+        prop_assert!(r.converged, "residual {}", r.final_residual);
+        let err = r.x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+        prop_assert!(err < 1e-6, "max error {err}");
+    }
+
+    /// The solution is a fixed point: starting async-(k) *at* the exact
+    /// solution leaves it there (up to machine noise), for any schedule.
+    #[test]
+    fn exact_solution_is_a_fixed_point_of_async_k(
+        seed in 0u64..500,
+        k in 1usize..5,
+    ) {
+        let n = 50;
+        let a = random_spd_tridiag_perturbed(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+        let rhs = a.mul_vec(&x_true).expect("square");
+        let p = RowPartition::uniform(n, 7).expect("partition");
+        let r = AsyncBlockSolver::async_k(k)
+            .solve(&a, &rhs, &x_true, &p, &SolveOptions::fixed_iterations(5))
+            .expect("solve");
+        let drift = r.x.iter().zip(&x_true).map(|(x, t)| (x - t).abs()).fold(0.0f64, f64::max);
+        prop_assert!(drift < 1e-10, "fixed point drifted by {drift}");
+    }
+
+    /// Jacobi and Gauss-Seidel agree with CG on the solution whenever all
+    /// converge.
+    #[test]
+    fn all_methods_agree_on_the_solution(seed in 0u64..500) {
+        let n = 40;
+        let a = random_spd_tridiag_perturbed(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let rhs = a.mul_vec(&x_true).expect("square");
+        let opts = SolveOptions::to_tolerance(1e-12, 500_000);
+        let j = jacobi(&a, &rhs, &vec![0.0; n], &opts).expect("jacobi");
+        let g = gauss_seidel(&a, &rhs, &vec![0.0; n], &opts).expect("gs");
+        let c = conjugate_gradient(&a, &rhs, &vec![0.0; n], &opts).expect("cg");
+        prop_assert!(j.converged && g.converged && c.converged);
+        for x in [&j.x, &g.x, &c.x] {
+            let err = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            prop_assert!(err < 1e-8, "max error {err}");
+        }
+    }
+
+    /// RCM always produces a valid permutation, and the permuted matrix
+    /// is similar: same solution after un-permuting.
+    #[test]
+    fn rcm_permutation_preserves_the_system(seed in 0u64..500) {
+        let n = 50;
+        let a = random_diag_dominant(n, 4, 1.5, seed);
+        let perm = reverse_cuthill_mckee(&a);
+        let mut seen = vec![false; n];
+        for &v in &perm {
+            prop_assert!(!seen[v]);
+            seen[v] = true;
+        }
+        let a2 = a.permute_sym(&perm).expect("valid permutation");
+        let x_true = vec![1.0; n]; // invariant under any permutation
+        let rhs2 = a2.mul_vec(&x_true).expect("square");
+        let r = gauss_seidel(&a2, &rhs2, &vec![0.0; n], &SolveOptions::to_tolerance(1e-10, 100_000))
+            .expect("gs");
+        prop_assert!(r.converged);
+        let err = r.x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+        prop_assert!(err < 1e-7, "max error {err}");
+    }
+
+    /// Fault injection with eventual recovery never changes the limit:
+    /// the recovered run reaches the same solution as the healthy one.
+    #[test]
+    fn recovery_preserves_the_limit(
+        seed in 0u64..500,
+        t0 in 2usize..15,
+        tr in 1usize..25,
+    ) {
+        use block_async_relax::fault::FailureScenario;
+        let n = 48;
+        let a = random_diag_dominant(n, 4, 1.5, seed);
+        let rhs = a.mul_vec(&vec![1.0; n]).expect("square");
+        let p = RowPartition::uniform(n, 6).expect("partition");
+        let scenario = FailureScenario { t0, fraction: 0.25, recovery: Some(tr), seed }.build(n);
+        let r = AsyncBlockSolver::async_k(3)
+            .solve_filtered(&a, &rhs, &vec![0.0; n], &p,
+                            &SolveOptions::fixed_iterations(t0 + tr + 120), &scenario)
+            .expect("solve");
+        let err = r.x.iter().map(|v| (v - 1.0).abs()).fold(0.0f64, f64::max);
+        prop_assert!(err < 1e-8, "max error {err}");
+    }
+}

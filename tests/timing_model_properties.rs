@@ -1,0 +1,102 @@
+//! Property tests of the calibrated cost model: whatever the constants,
+//! the model must be monotone in work and respect the structural
+//! relations the paper's tables rely on.
+
+use block_async_relax::gpu::timing::CommStrategy;
+use block_async_relax::gpu::{TimingModel, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn more_nonzeros_cost_more(
+        n in 100usize..20_000,
+        nnz in 1_000usize..500_000,
+        extra in 1usize..100_000,
+    ) {
+        let m = TimingModel::calibrated();
+        prop_assert!(m.cpu_gauss_seidel_iteration(n, nnz + extra) > m.cpu_gauss_seidel_iteration(n, nnz));
+        prop_assert!(m.gpu_jacobi_iteration(n, nnz + extra) > m.gpu_jacobi_iteration(n, nnz));
+        prop_assert!(
+            m.gpu_async_iteration(n, nnz + extra, nnz / 2, 5)
+                > m.gpu_async_iteration(n, nnz, nnz / 2, 5)
+        );
+    }
+
+    #[test]
+    fn local_sweeps_monotone_and_k1_free(
+        n in 100usize..20_000,
+        nnz in 1_000usize..500_000,
+        k in 1usize..12,
+    ) {
+        let m = TimingModel::calibrated();
+        let local = nnz / 2;
+        let t_k = m.gpu_async_iteration(n, nnz, local, k);
+        let t_k1 = m.gpu_async_iteration(n, nnz, local, k + 1);
+        prop_assert!(t_k1 > t_k, "extra sweeps must cost something");
+        // k = 1 pays nothing for locality
+        prop_assert!(
+            (m.gpu_async_iteration(n, nnz, local, 1)
+                - m.gpu_async_iteration(n, nnz, 0, 1))
+                .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn average_per_iteration_decreasing_in_total(
+        n in 100usize..20_000,
+        nnz in 1_000usize..500_000,
+        total in 1usize..500,
+    ) {
+        let m = TimingModel::calibrated();
+        let t = m.gpu_jacobi_iteration(n, nnz);
+        prop_assert!(
+            m.gpu_average_per_iteration(t, total) > m.gpu_average_per_iteration(t, total + 1)
+        );
+        // the average approaches the marginal cost from above
+        prop_assert!(m.gpu_average_per_iteration(t, total) > t);
+    }
+
+    #[test]
+    fn dk_never_cheaper_than_dc(
+        g in 1usize..5,
+        n in 1_000usize..50_000,
+    ) {
+        let m = TimingModel::calibrated();
+        let topo = Topology::supermicro(g);
+        let dc = m.multi_gpu_transfer(&topo, CommStrategy::Dc, n);
+        let dk = m.multi_gpu_transfer(&topo, CommStrategy::Dk, n);
+        prop_assert!(dk >= dc, "remote loads cannot beat bulk copies: {dk} vs {dc}");
+    }
+
+    #[test]
+    fn per_device_compute_shrinks_with_more_gpus(
+        g in 1usize..4,
+        n in 1_000usize..50_000,
+        nnz in 10_000usize..500_000,
+    ) {
+        let m = TimingModel::calibrated();
+        // compare compute-only by zeroing the exchange overheads
+        let mut m0 = m.clone();
+        m0.amc_exchange_overhead = 0.0;
+        m0.qpi_iteration_penalty = 0.0;
+        let t_g = m0.multi_gpu_async_iteration(
+            &Topology::supermicro(g), CommStrategy::Amc, n, nnz, nnz / 2, 5,
+        );
+        let t_g1 = m0.multi_gpu_async_iteration(
+            &Topology::supermicro(g + 1), CommStrategy::Amc, n, nnz, nnz / 2, 5,
+        );
+        prop_assert!(t_g1 < t_g, "more devices must shrink per-iteration compute");
+    }
+
+    #[test]
+    fn cross_socket_transfers_slower(
+        bytes in 1usize..10_000_000,
+    ) {
+        let topo = Topology::supermicro(4);
+        prop_assert!(topo.device_device_time(0, 2, bytes) > topo.device_device_time(0, 1, bytes));
+        prop_assert!(topo.host_device_time(3, bytes) >= topo.host_device_time(0, bytes));
+    }
+}
