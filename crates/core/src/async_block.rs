@@ -22,10 +22,11 @@ use crate::convergence::{check_system, relative_residual, SolveOptions, SolveRes
 use abr_gpu::kernel::AllowAll;
 use abr_gpu::schedule::BlockSchedule;
 use abr_gpu::{
-    BlockKernel, RandomPermutation, RecurringPattern, RoundRobin, SimExecutor, SimOptions,
-    ThreadedExecutor, ThreadedOptions, UpdateFilter, XView,
+    BlockKernel, BlockScratch, RandomPermutation, RecurringPattern, RoundRobin, SimExecutor,
+    SimOptions, ThreadedExecutor, ThreadedOptions, UpdateFilter, XView,
 };
-use abr_sparse::{CsrMatrix, Result, RowPartition};
+use abr_sparse::block_plan::BlockEll;
+use abr_sparse::{BlockPlan, CsrMatrix, Result, RowPartition};
 
 /// Which block-dispatch schedule the solver uses (see
 /// [`abr_gpu::schedule`]).
@@ -170,9 +171,7 @@ impl AsyncBlockSolver {
         opts: &SolveOptions,
         filter: &dyn UpdateFilter,
     ) -> Result<SolveResult> {
-        check_system(a, rhs, x0);
         assert_eq!(partition.n(), a.n_rows(), "partition must cover the system");
-        assert!(self.local_iters >= 1, "async-(k) needs k >= 1");
         let kernel = AsyncJacobiKernel::with_sweep(
             a,
             rhs,
@@ -181,6 +180,26 @@ impl AsyncBlockSolver {
             self.damping,
             self.local_sweep,
         )?;
+        self.solve_with_kernel(a, rhs, x0, &kernel, opts, filter)
+    }
+
+    /// Solves with an already-compiled kernel. This lets callers that
+    /// need the kernel for other purposes (e.g. `abr-multigpu` feeds
+    /// [`AsyncJacobiKernel::nnz_local`] to the timing model) compile the
+    /// block plan once instead of once per use. The kernel's numerics
+    /// (`k`, damping, sweep type) are its own; `self` contributes the
+    /// schedule, executor, and chunked convergence driving.
+    pub fn solve_with_kernel(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        kernel: &AsyncJacobiKernel<'_>,
+        opts: &SolveOptions,
+        filter: &dyn UpdateFilter,
+    ) -> Result<SolveResult> {
+        check_system(a, rhs, x0);
+        assert!(self.local_iters >= 1, "async-(k) needs k >= 1");
         let mut schedule = self.schedule.build();
 
         let mut x = x0.to_vec();
@@ -205,7 +224,7 @@ impl AsyncBlockSolver {
                         ..sim_opts.clone()
                     });
                     exec.run(
-                        &kernel,
+                        kernel,
                         &mut x,
                         rounds,
                         &mut offset_schedule,
@@ -223,7 +242,7 @@ impl AsyncBlockSolver {
                         ..t_opts.clone()
                     });
                     let (x_new, _trace, snaps) =
-                        exec.run(&kernel, &x, rounds, &mut offset_schedule, &offset_filter);
+                        exec.run(kernel, &x, rounds, &mut offset_schedule, &offset_filter);
                     if opts.record_history {
                         for snap in &snaps {
                             history.push(relative_residual(a, rhs, snap));
@@ -299,22 +318,34 @@ impl BlockSchedule for OffsetSchedule<'_> {
 }
 
 /// The block kernel realising Algorithm 1 (one thread block's work).
+///
+/// At construction the `(matrix, partition)` pair is compiled into a
+/// [`BlockPlan`]: per block, a packed local operator with the diagonal
+/// pre-extracted and pre-inverted (plus a branch-free ELL variant for
+/// short-row blocks) and a packed halo segment. An update then is
+///
+/// 1. one linear gather over the halo to freeze the off-block part,
+/// 2. `k` sweeps over the packed local operator,
+///
+/// and with [`BlockKernel::update_block_with`] it performs **zero heap
+/// allocations** in steady state — the executors pass each worker's
+/// reusable [`BlockScratch`]. The plan path is bit-identical to the
+/// span-sliced reference kept in
+/// [`update_block_reference`](Self::update_block_reference): entry order
+/// within every row is preserved, so every floating-point accumulation
+/// happens in the same order (the workspace proptests assert
+/// bit-equality).
 pub struct AsyncJacobiKernel<'a> {
     a: &'a CsrMatrix,
     rhs: &'a [f64],
-    partition: &'a RowPartition,
-    inv_diag: Vec<f64>,
+    plan: BlockPlan,
     local_iters: usize,
     damping: f64,
     local_sweep: LocalSweep,
     /// Per row: the sub-range of the row's CSR entries whose columns fall
     /// inside the row's own block (columns are sorted, so it's one
-    /// contiguous span).
+    /// contiguous span). Used only by the reference path.
     local_span: Vec<(usize, usize)>,
-    /// Per block: total nonzeros of its rows, used as the virtual cost.
-    block_nnz: Vec<f64>,
-    /// Per block: the other blocks whose components it reads (sorted).
-    neighbors: Vec<Vec<usize>>,
 }
 
 impl<'a> AsyncJacobiKernel<'a> {
@@ -323,7 +354,7 @@ impl<'a> AsyncJacobiKernel<'a> {
     pub fn new(
         a: &'a CsrMatrix,
         rhs: &'a [f64],
-        partition: &'a RowPartition,
+        partition: &RowPartition,
         local_iters: usize,
         damping: f64,
     ) -> Result<Self> {
@@ -334,12 +365,12 @@ impl<'a> AsyncJacobiKernel<'a> {
     pub fn with_sweep(
         a: &'a CsrMatrix,
         rhs: &'a [f64],
-        partition: &'a RowPartition,
+        partition: &RowPartition,
         local_iters: usize,
         damping: f64,
         local_sweep: LocalSweep,
     ) -> Result<Self> {
-        let inv_diag: Vec<f64> = a.nonzero_diagonal()?.iter().map(|&d| 1.0 / d).collect();
+        let plan = BlockPlan::compile(a, partition)?;
         let n = a.n_rows();
         let mut local_span = Vec::with_capacity(n);
         for r in 0..n {
@@ -349,76 +380,33 @@ impl<'a> AsyncJacobiKernel<'a> {
             let hi = cols.partition_point(|&c| c < block.end);
             local_span.push((lo, hi));
         }
-        let block_nnz = partition
-            .blocks()
-            .iter()
-            .map(|b| (b.start..b.end).map(|r| a.row(r).0.len()).sum::<usize>() as f64)
-            .collect();
-        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); partition.len()];
-        for (bi, nbrs) in neighbors.iter_mut().enumerate() {
-            let blk = partition.block(bi);
-            let mut seen = std::collections::BTreeSet::new();
-            for r in blk.start..blk.end {
-                for (c, _) in a.row_iter(r) {
-                    if !blk.contains(c) {
-                        seen.insert(partition.block_of(c));
-                    }
-                }
-            }
-            nbrs.extend(seen);
-        }
-        Ok(AsyncJacobiKernel {
-            a,
-            rhs,
-            partition,
-            inv_diag,
-            local_iters,
-            damping,
-            local_sweep,
-            local_span,
-            block_nnz,
-            neighbors,
-        })
+        Ok(AsyncJacobiKernel { a, rhs, plan, local_iters, damping, local_sweep, local_span })
+    }
+
+    /// The compiled block plan.
+    pub fn plan(&self) -> &BlockPlan {
+        &self.plan
     }
 
     /// Number of nonzeros lying inside the partition's diagonal blocks —
     /// the `nnz_local` input of the timing model.
     pub fn nnz_local(&self) -> usize {
-        self.local_span.iter().map(|&(lo, hi)| hi - lo).sum()
-    }
-}
-
-impl BlockKernel for AsyncJacobiKernel<'_> {
-    fn n(&self) -> usize {
-        self.a.n_rows()
+        self.plan.nnz_local()
     }
 
-    fn n_blocks(&self) -> usize {
-        self.partition.len()
-    }
-
-    fn block_range(&self, b: usize) -> (usize, usize) {
-        let blk = self.partition.block(b);
-        (blk.start, blk.end)
-    }
-
-    fn block_cost(&self, b: usize) -> f64 {
-        self.block_nnz[b].max(1.0)
-    }
-
-    fn neighbor_blocks(&self, b: usize) -> Option<&[usize]> {
-        Some(&self.neighbors[b])
-    }
-
-    fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]) {
-        let blk = self.partition.block(b);
-        let nb = blk.len();
+    /// The original span-sliced implementation of one block update,
+    /// kept as the reference the plan path is tested (bit-for-bit) and
+    /// benchmarked against. Allocates its working buffers per call.
+    pub fn update_block_reference(&self, b: usize, x: &XView<'_>, out: &mut [f64]) {
+        let (start, end) = self.plan.block_rows(b);
+        let nb = end - start;
         debug_assert_eq!(out.len(), nb);
+        let inv_diag = self.plan.inv_diag();
 
         // Step 1+2: snapshot local values, freeze the off-block part.
-        let mut cur: Vec<f64> = (blk.start..blk.end).map(|i| x.get(i)).collect();
+        let mut cur: Vec<f64> = (start..end).map(|i| x.get(i)).collect();
         let mut frozen = vec![0.0f64; nb];
-        for (li, r) in (blk.start..blk.end).enumerate() {
+        for (li, r) in (start..end).enumerate() {
             let (cols, vals) = self.a.row(r);
             let (lo, hi) = self.local_span[r];
             let mut acc = self.rhs[r];
@@ -436,17 +424,17 @@ impl BlockKernel for AsyncJacobiKernel<'_> {
             LocalSweep::Jacobi => {
                 let mut next = vec![0.0f64; nb];
                 for _ in 0..self.local_iters {
-                    for (li, r) in (blk.start..blk.end).enumerate() {
+                    for (li, r) in (start..end).enumerate() {
                         let (cols, vals) = self.a.row(r);
                         let (lo, hi) = self.local_span[r];
                         let mut acc = frozen[li];
                         for k in lo..hi {
                             let c = cols[k];
                             if c != r {
-                                acc -= vals[k] * cur[c - blk.start];
+                                acc -= vals[k] * cur[c - start];
                             }
                         }
-                        let sweep = acc * self.inv_diag[r];
+                        let sweep = acc * inv_diag[r];
                         next[li] = if self.damping == 1.0 {
                             sweep
                         } else {
@@ -458,17 +446,17 @@ impl BlockKernel for AsyncJacobiKernel<'_> {
             }
             LocalSweep::GaussSeidel => {
                 for _ in 0..self.local_iters {
-                    for (li, r) in (blk.start..blk.end).enumerate() {
+                    for (li, r) in (start..end).enumerate() {
                         let (cols, vals) = self.a.row(r);
                         let (lo, hi) = self.local_span[r];
                         let mut acc = frozen[li];
                         for k in lo..hi {
                             let c = cols[k];
                             if c != r {
-                                acc -= vals[k] * cur[c - blk.start];
+                                acc -= vals[k] * cur[c - start];
                             }
                         }
-                        let sweep = acc * self.inv_diag[r];
+                        let sweep = acc * inv_diag[r];
                         cur[li] = if self.damping == 1.0 {
                             sweep
                         } else {
@@ -479,6 +467,176 @@ impl BlockKernel for AsyncJacobiKernel<'_> {
             }
         }
         out.copy_from_slice(&cur);
+    }
+
+    /// `k` Jacobi sweeps over the ELL-packed local operator. Branch-free
+    /// inner loop: padding entries multiply the guaranteed-zero pad slot
+    /// `cur[nb]`, contributing an exact `- 0.0` to the accumulator.
+    /// Damping is monomorphised out of the loop via `DAMPED`.
+    #[inline]
+    fn sweeps_jacobi_ell<const DAMPED: bool>(
+        &self,
+        ell: &BlockEll,
+        inv_diag: &[f64],
+        frozen: &[f64],
+        cur: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+    ) {
+        let nb = ell.rows();
+        let width = ell.width();
+        let cols = ell.cols();
+        let vals = ell.vals();
+        for _ in 0..self.local_iters {
+            for li in 0..nb {
+                let mut acc = frozen[li];
+                // column-major walk: k-th entry of row li at k*nb + li,
+                // ascending k = source CSR order within the row
+                for k in 0..width {
+                    let idx = k * nb + li;
+                    acc -= vals[idx] * cur[cols[idx] as usize];
+                }
+                let sweep = acc * inv_diag[li];
+                next[li] =
+                    if DAMPED { cur[li] + self.damping * (sweep - cur[li]) } else { sweep };
+            }
+            std::mem::swap(cur, next);
+        }
+    }
+
+    /// `k` Jacobi sweeps over the packed local CSR (wide-row blocks).
+    #[inline]
+    fn sweeps_jacobi_csr<const DAMPED: bool>(
+        &self,
+        start: usize,
+        nb: usize,
+        inv_diag: &[f64],
+        frozen: &[f64],
+        cur: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+    ) {
+        for _ in 0..self.local_iters {
+            for li in 0..nb {
+                let (lc, lv) = self.plan.local_row(start + li);
+                let mut acc = frozen[li];
+                for (&c, &v) in lc.iter().zip(lv) {
+                    acc -= v * cur[c as usize];
+                }
+                let sweep = acc * inv_diag[li];
+                next[li] =
+                    if DAMPED { cur[li] + self.damping * (sweep - cur[li]) } else { sweep };
+            }
+            std::mem::swap(cur, next);
+        }
+    }
+
+    /// `k` Gauss-Seidel sweeps over the packed local CSR. GS is
+    /// row-sequential by definition (each row reads the rows above it
+    /// from *this* sweep), so it always takes the CSR path.
+    #[inline]
+    fn sweeps_gs_csr<const DAMPED: bool>(
+        &self,
+        start: usize,
+        nb: usize,
+        inv_diag: &[f64],
+        frozen: &[f64],
+        cur: &mut [f64],
+    ) {
+        for _ in 0..self.local_iters {
+            for li in 0..nb {
+                let (lc, lv) = self.plan.local_row(start + li);
+                let mut acc = frozen[li];
+                for (&c, &v) in lc.iter().zip(lv) {
+                    acc -= v * cur[c as usize];
+                }
+                let sweep = acc * inv_diag[li];
+                cur[li] =
+                    if DAMPED { cur[li] + self.damping * (sweep - cur[li]) } else { sweep };
+            }
+        }
+    }
+}
+
+impl BlockKernel for AsyncJacobiKernel<'_> {
+    fn n(&self) -> usize {
+        self.plan.n()
+    }
+
+    fn n_blocks(&self) -> usize {
+        self.plan.n_blocks()
+    }
+
+    fn block_range(&self, b: usize) -> (usize, usize) {
+        self.plan.block_rows(b)
+    }
+
+    fn block_cost(&self, b: usize) -> f64 {
+        self.plan.block_nnz(b).max(1.0)
+    }
+
+    fn neighbor_blocks(&self, b: usize) -> Option<&[usize]> {
+        Some(self.plan.neighbors(b))
+    }
+
+    fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]) {
+        // Compatibility entry point for callers without a scratch; the
+        // executors call `update_block_with` with a per-worker scratch.
+        let mut scratch = BlockScratch::new();
+        self.update_block_with(b, x, out, &mut scratch);
+    }
+
+    fn update_block_with(
+        &self,
+        b: usize,
+        x: &XView<'_>,
+        out: &mut [f64],
+        scratch: &mut BlockScratch,
+    ) {
+        let (start, end) = self.plan.block_rows(b);
+        let nb = end - start;
+        debug_assert_eq!(out.len(), nb);
+        scratch.ensure(nb);
+        let BlockScratch { cur, next, frozen } = scratch;
+
+        // Step 1: snapshot local values; zero the pad slots so ELL
+        // padding entries stay numerically inert.
+        for (li, c) in cur[..nb].iter_mut().enumerate() {
+            *c = x.get(start + li);
+        }
+        cur[nb] = 0.0;
+        next[nb] = 0.0;
+
+        // Step 2: freeze the off-block part — one linear gather per row
+        // over the packed halo (source CSR order, so bit-identical to
+        // the reference's two-span subtraction).
+        for (li, f) in frozen.iter_mut().enumerate() {
+            let (hc, hv) = self.plan.halo_row(start + li);
+            let mut acc = self.rhs[start + li];
+            for (&c, &v) in hc.iter().zip(hv) {
+                acc -= v * x.get(c);
+            }
+            *f = acc;
+        }
+
+        // Step 3: `local_iters` sweeps on the packed local operator,
+        // monomorphised over damping and layout.
+        let inv_diag = &self.plan.inv_diag()[start..end];
+        let damped = self.damping != 1.0;
+        match self.local_sweep {
+            LocalSweep::Jacobi => match (self.plan.ell(b), damped) {
+                (Some(ell), false) => self.sweeps_jacobi_ell::<false>(ell, inv_diag, frozen, cur, next),
+                (Some(ell), true) => self.sweeps_jacobi_ell::<true>(ell, inv_diag, frozen, cur, next),
+                (None, false) => self.sweeps_jacobi_csr::<false>(start, nb, inv_diag, frozen, cur, next),
+                (None, true) => self.sweeps_jacobi_csr::<true>(start, nb, inv_diag, frozen, cur, next),
+            },
+            LocalSweep::GaussSeidel => {
+                if damped {
+                    self.sweeps_gs_csr::<true>(start, nb, inv_diag, frozen, cur);
+                } else {
+                    self.sweeps_gs_csr::<false>(start, nb, inv_diag, frozen, cur);
+                }
+            }
+        }
+        out.copy_from_slice(&cur[..nb]);
     }
 }
 
@@ -748,6 +906,76 @@ mod tests {
         assert_eq!(k.neighbor_blocks(0).unwrap(), &[1]);
         assert_eq!(k.neighbor_blocks(1).unwrap(), &[0, 2]);
         assert_eq!(k.neighbor_blocks(3).unwrap(), &[2]);
+    }
+
+    #[test]
+    fn plan_path_is_bit_identical_to_reference() {
+        // both layouts (ELL for the short-row Laplacian blocks, CSR for
+        // the single wide block), both sweeps, damped and undamped
+        let a = random_diag_dominant(60, 5, 1.4, 7);
+        let rhs = a.mul_vec(&vec![1.0; 60]).unwrap();
+        let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).sin()).collect();
+        for (block_size, sweep, damping) in [
+            (7, LocalSweep::Jacobi, 1.0),
+            (7, LocalSweep::Jacobi, 0.8),
+            (60, LocalSweep::Jacobi, 1.0),
+            (7, LocalSweep::GaussSeidel, 1.0),
+            (7, LocalSweep::GaussSeidel, 0.9),
+        ] {
+            let p = RowPartition::uniform(60, block_size).unwrap();
+            let k = AsyncJacobiKernel::with_sweep(&a, &rhs, &p, 3, damping, sweep).unwrap();
+            let mut scratch = abr_gpu::BlockScratch::new();
+            for b in 0..k.n_blocks() {
+                let (s, e) = k.block_range(b);
+                let mut plan_out = vec![0.0; e - s];
+                let mut ref_out = vec![0.0; e - s];
+                k.update_block_with(b, &XView::Plain(&x), &mut plan_out, &mut scratch);
+                k.update_block_reference(b, &XView::Plain(&x), &mut ref_out);
+                for (pv, rv) in plan_out.iter().zip(&ref_out) {
+                    assert_eq!(pv.to_bits(), rv.to_bits(), "block {b} ({sweep:?}, tau={damping})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ell_pad_slot_is_inert_for_nonfinite_iterates() {
+        // divergent-regime values (inf) must flow through the ELL path
+        // exactly as through the reference path
+        let a = laplacian_2d_5pt(4);
+        let rhs = vec![1.0; 16];
+        let p = RowPartition::uniform(16, 4).unwrap();
+        let k = AsyncJacobiKernel::new(&a, &rhs, &p, 2, 1.0).unwrap();
+        let mut x = vec![1.0e308; 16];
+        x[3] = f64::INFINITY;
+        x[7] = -0.0;
+        let mut scratch = abr_gpu::BlockScratch::new();
+        for b in 0..k.n_blocks() {
+            assert!(k.plan().ell(b).is_some());
+            let mut plan_out = vec![0.0; 4];
+            let mut ref_out = vec![0.0; 4];
+            k.update_block_with(b, &XView::Plain(&x), &mut plan_out, &mut scratch);
+            k.update_block_reference(b, &XView::Plain(&x), &mut ref_out);
+            for (pv, rv) in plan_out.iter().zip(&ref_out) {
+                assert_eq!(pv.to_bits(), rv.to_bits(), "block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_with_kernel_reuses_a_compiled_kernel() {
+        let (a, rhs, _) = solve_setup(8);
+        let n = a.n_rows();
+        let p = RowPartition::uniform(n, 16).unwrap();
+        let solver = AsyncBlockSolver::async_k(5);
+        let kernel =
+            AsyncJacobiKernel::with_sweep(&a, &rhs, &p, 5, 1.0, LocalSweep::Jacobi).unwrap();
+        let opts = SolveOptions::fixed_iterations(40);
+        let via_kernel = solver
+            .solve_with_kernel(&a, &rhs, &vec![0.0; n], &kernel, &opts, &AllowAll)
+            .unwrap();
+        let direct = solver.solve(&a, &rhs, &vec![0.0; n], &p, &opts).unwrap();
+        assert_eq!(via_kernel.x, direct.x);
     }
 
     #[test]

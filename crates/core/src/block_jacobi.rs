@@ -14,7 +14,7 @@
 
 use crate::async_block::AsyncJacobiKernel;
 use crate::convergence::{check_system, relative_residual, SolveOptions, SolveResult};
-use abr_gpu::{BlockKernel, XView};
+use abr_gpu::{BlockKernel, BlockScratch, XView};
 use abr_sparse::{CsrMatrix, Result, RowPartition};
 
 /// Solves `A x = b` with synchronous block-Jacobi over the partition,
@@ -35,6 +35,7 @@ pub fn block_jacobi(
 
     let mut x = x0.to_vec();
     let mut x_new = x0.to_vec();
+    let mut scratch = BlockScratch::new();
     let mut history = Vec::new();
     let mut iterations = 0;
     let mut converged = false;
@@ -43,7 +44,7 @@ pub fn block_jacobi(
         // All blocks read the same snapshot `x`, results go to `x_new`.
         for b in 0..kernel.n_blocks() {
             let (s, e) = kernel.block_range(b);
-            kernel.update_block(b, &XView::Plain(&x), &mut x_new[s..e]);
+            kernel.update_block_with(b, &XView::Plain(&x), &mut x_new[s..e], &mut scratch);
         }
         std::mem::swap(&mut x, &mut x_new);
         iterations += 1;

@@ -1,11 +1,39 @@
 //! Output plumbing: tables (for the paper's tables) and series (for its
 //! figures), rendered as markdown/plain text and optionally CSV.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (JSON has no inf/nan; they render as
+/// null, matching what a lossy serializer would emit).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// A rectangular results table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption (e.g. "Table 5: average iteration timings \[s\]").
     pub title: String,
@@ -53,14 +81,38 @@ impl Table {
         out
     }
 
-    /// Renders JSON.
+    /// Renders JSON (pretty, two-space indent).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("tables contain only strings")
+        let headers = self
+            .headers
+            .iter()
+            .map(|h| format!("    \"{}\"", json_escape(h)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells = row
+                    .iter()
+                    .map(|c| format!("      \"{}\"", json_escape(c)))
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!("    [\n{cells}\n    ]")
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"headers\": [\n{}\n  ],\n  \"rows\": [\n{}\n  ]\n}}",
+            json_escape(&self.title),
+            headers,
+            rows
+        )
     }
 }
 
 /// One labelled data series of a figure: `(x, y)` points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -95,7 +147,7 @@ impl Series {
 
 /// A figure: several series plus axis labels; renders as a compact text
 /// listing (for EXPERIMENTS.md) and CSV (one column per series).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure caption.
     pub title: String,
@@ -159,9 +211,39 @@ impl Figure {
         out
     }
 
-    /// Renders JSON.
+    /// Renders JSON (pretty, two-space indent).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figures contain only plain data")
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|&(x, y)| {
+                        format!(
+                            "        [\n          {},\n          {}\n        ]",
+                            json_f64(x),
+                            json_f64(y)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    "    {{\n      \"label\": \"{}\",\n      \"points\": [\n{}\n      ]\n    }}",
+                    json_escape(&s.label),
+                    points
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"x_label\": \"{}\",\n  \"y_label\": \"{}\",\n  \"series\": [\n{}\n  ]\n}}",
+            json_escape(&self.title),
+            json_escape(&self.x_label),
+            json_escape(&self.y_label),
+            series
+        )
     }
 }
 

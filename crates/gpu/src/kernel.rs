@@ -9,6 +9,48 @@
 
 use crate::xview::XView;
 
+/// Reusable per-worker workspace for [`BlockKernel::update_block_with`].
+///
+/// Executors own one scratch per worker (the DES executor models one
+/// in-flight update at a time per replayed event, so it keeps a single
+/// scratch; the threaded executor keeps one per OS thread) and hand it to
+/// every update that worker performs. Kernels size the buffers on first
+/// use with [`BlockScratch::ensure`]; after the first update of the
+/// largest block, no further allocation happens — the capacity has
+/// stabilised and every subsequent update is allocation-free.
+///
+/// The buffers carry no values across calls: kernels must treat their
+/// contents as garbage on entry (except that `ensure` guarantees the
+/// lengths). Two workers must never share one scratch concurrently —
+/// `&mut` enforces this within safe code.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    /// Current local iterate (plus one guaranteed-zero pad slot for
+    /// ELL-packed sweeps).
+    pub cur: Vec<f64>,
+    /// Next local iterate for Jacobi-style double buffering.
+    pub next: Vec<f64>,
+    /// Frozen off-block contribution `s_i = b_i - sum_{j not in block} a_ij x_j`.
+    pub frozen: Vec<f64>,
+}
+
+impl BlockScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes all three buffers to hold a block of `nb` rows: `frozen`
+    /// to `nb`, `cur`/`next` to `nb + 1` (the extra slot is the ELL pad
+    /// target). Only grows capacity; never shrinks it.
+    #[inline]
+    pub fn ensure(&mut self, nb: usize) {
+        self.cur.resize(nb + 1, 0.0);
+        self.next.resize(nb + 1, 0.0);
+        self.frozen.resize(nb, 0.0);
+    }
+}
+
 /// One block-update computation.
 ///
 /// Implementations live in `abr-core` (the async-(k) local sweep) and in
@@ -27,6 +69,22 @@ pub trait BlockKernel: Sync {
     /// Computes new values for the rows of block `b`, reading the shared
     /// iterate through `x`. `out` has length `end - start`.
     fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]);
+
+    /// Like [`update_block`](Self::update_block), but with a reusable
+    /// [`BlockScratch`] so kernels that need working buffers can run
+    /// allocation-free in steady state. Executors call this form, passing
+    /// one scratch per worker. The default delegates to `update_block`
+    /// (correct for kernels that need no workspace).
+    fn update_block_with(
+        &self,
+        b: usize,
+        x: &XView<'_>,
+        out: &mut [f64],
+        scratch: &mut BlockScratch,
+    ) {
+        let _ = scratch;
+        self.update_block(b, x, out);
+    }
 
     /// Relative virtual duration of one update of block `b`, in arbitrary
     /// units (the DES executor multiplies by a seeded jitter). The default
@@ -99,6 +157,11 @@ pub(crate) mod test_kernels {
             (s, (s + self.block_size).min(self.n))
         }
         fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]) {
+            // The O(n) mean is recomputed on every update on purpose: the
+            // point of this kernel is to observe the *shared iterate as
+            // this update sees it*, including concurrent writes from other
+            // blocks. Hoisting or caching the mean would decouple the probe
+            // from the asynchronous schedule under test.
             let mean: f64 = (0..self.n).map(|i| x.get(i)).sum::<f64>() / self.n as f64;
             let (s, e) = self.block_range(b);
             for (o, i) in out.iter_mut().zip(s..e) {

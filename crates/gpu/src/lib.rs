@@ -32,7 +32,7 @@ pub mod trace;
 pub mod xview;
 
 pub use device::{DeviceSpec, HostSpec};
-pub use kernel::{BlockKernel, UpdateFilter};
+pub use kernel::{BlockKernel, BlockScratch, UpdateFilter};
 pub use occupancy::{occupancy, KernelFootprint, Occupancy, SmLimits};
 pub use schedule::{BlockSchedule, RandomPermutation, RecurringPattern, RoundRobin};
 pub use sim::{SimExecutor, SimOptions};

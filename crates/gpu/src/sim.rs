@@ -17,7 +17,7 @@
 //! schedule) pair reproduces the identical update history — this is how
 //! the 1000-run statistics of Tables 2/3 are generated reproducibly.
 
-use crate::kernel::{BlockKernel, UpdateFilter};
+use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
 use crate::schedule::BlockSchedule;
 use crate::trace::UpdateTrace;
 use crate::xview::XView;
@@ -158,6 +158,9 @@ impl SimExecutor {
         // in-flight results, keyed by dispatch id
         let mut inflight: Vec<Option<Vec<f64>>> = vec![None; dispatch];
         let mut buf_pool: Vec<Vec<f64>> = Vec::new();
+        // The replay is sequential, so one scratch serves every update;
+        // its capacity stabilises after the largest block's first update.
+        let mut scratch = BlockScratch::new();
         let mut completed_global = 0usize;
 
         for ev in &events {
@@ -177,7 +180,7 @@ impl SimExecutor {
                     let mut out = buf_pool.pop().unwrap_or_default();
                     out.clear();
                     out.resize(e - s, 0.0);
-                    kernel.update_block(ev.block, &XView::Plain(&*x), &mut out);
+                    kernel.update_block_with(ev.block, &XView::Plain(&*x), &mut out, &mut scratch);
                     inflight[ev.dispatch] = Some(out);
                 }
                 EventKind::Finish => {

@@ -10,7 +10,7 @@
 //! *achieved residual* agrees with the DES executor, which is the claim
 //! the paper's §4.1 statistics make about the method.
 
-use crate::kernel::{BlockKernel, UpdateFilter};
+use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
 use crate::schedule::{flatten_schedule, BlockSchedule};
 use crate::trace::UpdateTrace;
 use crate::xview::{AtomicF64Vec, XView};
@@ -88,7 +88,10 @@ impl ThreadedExecutor {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    // Per-worker buffers: never shared across threads, so
+                    // updates are allocation-free once capacities settle.
                     let mut out: Vec<f64> = Vec::new();
+                    let mut scratch = BlockScratch::new();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= tickets.len() {
@@ -111,7 +114,7 @@ impl ThreadedExecutor {
                             let (s, e) = kernel.block_range(block);
                             out.clear();
                             out.resize(e - s, 0.0);
-                            kernel.update_block(block, &XView::Atomic(&x), &mut out);
+                            kernel.update_block_with(block, &XView::Atomic(&x), &mut out, &mut scratch);
                             for (k, &v) in out.iter().enumerate() {
                                 if filter.component_enabled(s + k, round) {
                                     x.set(s + k, v);

@@ -73,8 +73,17 @@ impl MultiGpuSolver {
             },
             ExecutorKind::Threaded(_) => self.base.clone(),
         };
-        let solve = base.solve(a, rhs, x0, &blocks, opts)?;
-        let kernel = AsyncJacobiKernel::new(a, rhs, &blocks, base.local_iters, base.damping)?;
+        // Compile the block plan once; the same kernel drives the solve
+        // and feeds its nnz_local to the timing model.
+        let kernel = AsyncJacobiKernel::with_sweep(
+            a,
+            rhs,
+            &blocks,
+            base.local_iters,
+            base.damping,
+            base.local_sweep,
+        )?;
+        let solve = base.solve_with_kernel(a, rhs, x0, &kernel, opts, &abr_gpu::kernel::AllowAll)?;
         let seconds_per_iteration = self.timing.multi_gpu_async_iteration(
             &self.topology,
             self.strategy,

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API subset the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with `sample_size`/`throughput`, [`BenchmarkId`], and
+//! [`Bencher::iter`] — over a plain wall-clock measurement loop:
+//! per benchmark, a warm-up phase followed by `sample_size` timed samples,
+//! reporting the per-iteration mean of the fastest third (a robust
+//! location estimate against OS scheduling noise).
+//!
+//! Results are printed as aligned text and, when `CRITERION_JSON` names a
+//! file, appended there as JSON lines for machine consumption.
+//!
+//! Environment knobs: `CRITERION_SAMPLE_MS` (per-sample budget in
+//! milliseconds, default 20), `CRITERION_JSON` (JSON-lines output path).
+
+pub use std::hint::black_box;
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (recorded; reported as elements/second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_budget: Duration,
+    samples: usize,
+    /// Mean ns/iter of the fastest-third samples, filled by `iter`.
+    result_ns: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f` and records the per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one sample's budget, also calibrates batch size.
+        let warm_start = Instant::now();
+        let mut batch: u64 = 0;
+        while warm_start.elapsed() < self.sample_budget {
+            black_box(f());
+            batch += 1;
+        }
+        let batch = batch.max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut total_iters = batch; // warm-up iterations count as work done
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            total_iters += batch;
+            per_iter.push(dt.as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let third = (per_iter.len() / 3).max(1);
+        self.result_ns = per_iter[..third].iter().sum::<f64>() / third as f64;
+        self.total_iters = total_iters;
+    }
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(20);
+    Duration::from_millis(ms.max(1))
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_budget: sample_budget(),
+        samples: samples.max(3),
+        result_ns: f64::NAN,
+        total_iters: 0,
+    };
+    f(&mut bencher);
+    let ns = bencher.result_ns;
+    let mut line = format!("{full_name:<48} time: {:>12}/iter", format_time(ns));
+    if let Some(Throughput::Elements(e)) = throughput {
+        let rate = e as f64 / (ns * 1e-9);
+        line.push_str(&format!("   thrpt: {:.3} Melem/s", rate / 1e6));
+    }
+    if let Some(Throughput::Bytes(b)) = throughput {
+        let rate = b as f64 / (ns * 1e-9);
+        line.push_str(&format!("   thrpt: {:.3} MiB/s", rate / (1024.0 * 1024.0)));
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) =
+            std::fs::OpenOptions::new().create(true).append(true).open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"bench\": \"{}\", \"mean_ns\": {}, \"samples\": {}, \"iters\": {}}}",
+                full_name.replace('"', "'"),
+                ns,
+                bencher.samples,
+                bencher.total_iters,
+            );
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 12 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.default_samples, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup { _parent: self, name: name.into(), samples, throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.samples, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is immediate; this is for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a bench group function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            sample_budget: Duration::from_millis(1),
+            samples: 3,
+            result_ns: f64::NAN,
+            total_iters: 0,
+        };
+        b.iter(|| black_box((0..100u64).sum::<u64>()));
+        assert!(b.result_ns.is_finite() && b.result_ns > 0.0);
+        assert!(b.total_iters > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 5).into_id(), "f/5");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+        assert_eq!("plain".into_id(), "plain");
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(12_000_000_000.0).ends_with(" s"));
+    }
+}

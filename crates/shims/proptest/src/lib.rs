@@ -1,0 +1,264 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of proptest this workspace's property tests use: the
+//! [`proptest!`] macro over `param in range` strategies (integer and float
+//! `Range`/`RangeInclusive`), `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are drawn from a seeded deterministic RNG (derived from the
+//!   test's module path and case index), so failures reproduce exactly —
+//!   there is no persistence file;
+//! * there is no shrinking: a failing case reports its inputs verbatim;
+//! * `prop_assert!` panics (like `assert!`) instead of returning `Err` —
+//!   equivalent observable behaviour for `#[test]` functions.
+
+/// Strategies: how a `param in <expr>` right-hand side produces values.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values for one test parameter.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+        /// Draws one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(usize, u64, u32, i64, i32);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn pick(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn pick(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+}
+
+/// Config and the deterministic case RNG.
+pub mod test_runner {
+    /// Runner configuration (the subset used: the case count).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-case RNG (SplitMix64 keyed by test name + case).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the named test: same inputs, same draws,
+        /// every run and platform.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h ^ ((case as u64) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        /// Next raw 64-bit word (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Unbiased draw from `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (n as u128);
+                let lo = m as u64;
+                if lo >= n || lo >= (u64::MAX - n + 1) % n {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(param in strategy, ...)` block
+/// becomes a `#[test]` running `config.cases` seeded random cases. On a
+/// panic inside the body, the failing inputs are printed and the panic is
+/// propagated.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $($p:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $p = $crate::strategy::Strategy::pick(&($strat), &mut __rng);)*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                        );
+                        $(eprintln!("    {} = {:?}", stringify!($p), $p);)*
+                        ::std::panic::resume_unwind(__err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Sanity: parameters land in their declared ranges.
+        #[test]
+        fn ranges_respected(
+            a in 3usize..9,
+            b in 0u64..1000,
+            f in -2.0f64..2.0,
+            k in 1usize..=4,
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b < 1000);
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((1..=4).contains(&k));
+        }
+    }
+
+    proptest! {
+        /// Default config path also compiles and runs.
+        #[test]
+        fn default_config_runs(x in 0usize..5) {
+            prop_assert!(x < 5);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let draw = |case| {
+            let mut rng = TestRng::for_case("demo", case);
+            (0usize..100).pick(&mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        // different cases explore different values somewhere in 0..20
+        assert!((0..20).any(|c| draw(c) != draw(0)));
+    }
+}

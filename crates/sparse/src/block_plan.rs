@@ -1,0 +1,442 @@
+//! Precompiled block-local kernel plans.
+//!
+//! The paper's core performance claim (§3.3, Algorithm 1) is that the `k`
+//! local Jacobi sweeps of async-(k) are nearly free because the subdomain
+//! lives in the multiprocessor's cache. Realising that on any hardware
+//! requires the *data layout* to cooperate: the sweep loop must touch a
+//! packed local operator, not re-slice the global matrix on every pass.
+//!
+//! A [`BlockPlan`] compiles a `(matrix, partition)` pair once, at kernel
+//! construction, into per-block structures sized for exactly that:
+//!
+//! * a **packed local submatrix** per block — CSR over block-rebased
+//!   column indices with the diagonal extracted and pre-inverted, so the
+//!   inner sweep has no `col != row` branch and no division;
+//! * an **ELL-packed variant** for short-row blocks — fixed-width,
+//!   column-major, zero-padded — giving the Jacobi sweep a branch-free,
+//!   SIMD-friendly inner loop (padding entries point at a dedicated
+//!   always-zero slot so they are numerically inert for *every* input,
+//!   including non-finite iterates of divergent runs);
+//! * a **packed halo segment** per block — the off-block `(column, value)`
+//!   pairs of its rows, contiguous in memory — so freezing the off-block
+//!   contribution `s_i = b_i − Σ_{j∉block} a_ij x_j` is a single linear
+//!   gather instead of two span-sliced passes over the global CSR.
+//!
+//! Entry order within each row is preserved from the source CSR, so a
+//! sweep over the plan is **bit-identical** to the same sweep over the
+//! global matrix (floating-point accumulation order is unchanged). The
+//! equivalence proptests in the workspace root assert exactly this.
+
+use crate::partition::RowPartition;
+use crate::{CsrMatrix, Result, SparseError};
+
+/// Local-row widths up to this many off-diagonal entries get an
+/// ELL-packed variant of their block (beyond it, padding waste and cache
+/// pressure outweigh the branch-free loop).
+pub const ELL_MAX_WIDTH: usize = 8;
+
+/// A fixed-width, column-major, zero-padded copy of one block's local
+/// operator (diagonal excluded), for branch-free Jacobi sweeps.
+///
+/// Layout: `cols[k * rows + r]` / `vals[k * rows + r]` hold row `r`'s
+/// `k`-th local off-diagonal entry, in source CSR order. Padding slots
+/// have value `0.0` and column index `rows` — one past the local range —
+/// which the sweep kernel maps to a scratch slot it keeps at `0.0`, so a
+/// padded entry contributes exactly `acc -= 0.0 * 0.0` and never perturbs
+/// the accumulation, even when the iterate holds `inf`/`NaN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockEll {
+    rows: usize,
+    width: usize,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl BlockEll {
+    /// Rows in the block.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Padded entries per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Column-major, block-rebased column indices (padding = `rows`).
+    #[inline]
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Column-major values (padding = `0.0`).
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+}
+
+/// A compiled `(matrix, partition)` pair: packed local operators, packed
+/// halos, pre-inverted diagonal, coupling topology, per-block costs.
+///
+/// # Examples
+///
+/// ```
+/// use abr_sparse::{gen, BlockPlan, RowPartition};
+///
+/// let a = gen::laplacian_2d_5pt(4);
+/// let p = RowPartition::uniform(16, 4).unwrap();
+/// let plan = BlockPlan::compile(&a, &p).unwrap();
+/// assert_eq!(plan.n_blocks(), 4);
+/// // 16 diagonal + 2*3*4 in-block couplings
+/// assert_eq!(plan.nnz_local(), 40);
+/// assert_eq!(plan.nnz_local() + plan.nnz_halo(), a.nnz());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPlan {
+    n: usize,
+    /// Row range starts per block, length `n_blocks + 1`.
+    block_offsets: Vec<usize>,
+    /// Pre-inverted diagonal, `1 / a_rr` per row.
+    inv_diag: Vec<f64>,
+    /// Packed local operator (diagonal excluded), block-rebased `u32`
+    /// columns, rows concatenated in global row order.
+    local_row_ptr: Vec<usize>,
+    local_cols: Vec<u32>,
+    local_vals: Vec<f64>,
+    /// Packed halo: off-block entries with global columns, rows
+    /// concatenated in global row order.
+    halo_row_ptr: Vec<usize>,
+    halo_cols: Vec<usize>,
+    halo_vals: Vec<f64>,
+    /// Per block: ELL-packed local operator for short-row blocks.
+    ell: Vec<Option<BlockEll>>,
+    /// Per block: total source nonzeros of its rows (virtual cost).
+    block_nnz: Vec<f64>,
+    /// Per block: sorted indices of the other blocks it reads.
+    neighbors: Vec<Vec<usize>>,
+    /// Offsets into the flattened `neighbors` — kept as Vec<Vec> for
+    /// simple borrowing; blocks are few compared to rows.
+    widest_block: usize,
+}
+
+impl BlockPlan {
+    /// Compiles the plan. Fails with [`SparseError::ZeroDiagonal`] when a
+    /// row has no (or a zero) diagonal entry, like the kernels it feeds.
+    pub fn compile(a: &CsrMatrix, partition: &RowPartition) -> Result<BlockPlan> {
+        assert!(a.is_square(), "block plans need a square matrix");
+        assert_eq!(partition.n(), a.n_rows(), "partition must cover the matrix");
+        let n = a.n_rows();
+        let n_blocks = partition.len();
+
+        let mut block_offsets = Vec::with_capacity(n_blocks + 1);
+        block_offsets.extend(partition.blocks().iter().map(|b| b.start));
+        block_offsets.push(n);
+
+        let mut inv_diag = vec![0.0f64; n];
+        let mut local_row_ptr = Vec::with_capacity(n + 1);
+        let mut local_cols: Vec<u32> = Vec::new();
+        let mut local_vals: Vec<f64> = Vec::new();
+        let mut halo_row_ptr = Vec::with_capacity(n + 1);
+        let mut halo_cols: Vec<usize> = Vec::new();
+        let mut halo_vals: Vec<f64> = Vec::new();
+        let mut ell = Vec::with_capacity(n_blocks);
+        let mut block_nnz = Vec::with_capacity(n_blocks);
+        let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n_blocks);
+        let mut widest_block = 0usize;
+
+        local_row_ptr.push(0);
+        halo_row_ptr.push(0);
+
+        for blk in partition.blocks() {
+            let nb = blk.len();
+            widest_block = widest_block.max(nb);
+            let mut nnz = 0usize;
+            let mut max_local_width = 0usize;
+            let mut nbr_seen = std::collections::BTreeSet::new();
+
+            for r in blk.start..blk.end {
+                let (cols, vals) = a.row(r);
+                nnz += cols.len();
+                let mut found_diag = false;
+                let local_start = local_cols.len();
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if c == r {
+                        if v != 0.0 {
+                            inv_diag[r] = 1.0 / v;
+                            found_diag = true;
+                        }
+                    } else if blk.contains(c) {
+                        local_cols.push((c - blk.start) as u32);
+                        local_vals.push(v);
+                    } else {
+                        halo_cols.push(c);
+                        halo_vals.push(v);
+                        nbr_seen.insert(partition.block_of(c));
+                    }
+                }
+                if !found_diag {
+                    return Err(SparseError::ZeroDiagonal { row: r });
+                }
+                max_local_width = max_local_width.max(local_cols.len() - local_start);
+                local_row_ptr.push(local_cols.len());
+                halo_row_ptr.push(halo_cols.len());
+            }
+
+            block_nnz.push(nnz as f64);
+            neighbors.push(nbr_seen.into_iter().collect());
+
+            ell.push(if max_local_width <= ELL_MAX_WIDTH && nb > 0 {
+                Some(Self::pack_ell(
+                    &local_row_ptr[blk.start..=blk.end],
+                    &local_cols,
+                    &local_vals,
+                    nb,
+                    max_local_width,
+                ))
+            } else {
+                None
+            });
+        }
+
+        Ok(BlockPlan {
+            n,
+            block_offsets,
+            inv_diag,
+            local_row_ptr,
+            local_cols,
+            local_vals,
+            halo_row_ptr,
+            halo_cols,
+            halo_vals,
+            ell,
+            block_nnz,
+            neighbors,
+            widest_block,
+        })
+    }
+
+    fn pack_ell(
+        row_ptr: &[usize],
+        all_cols: &[u32],
+        all_vals: &[f64],
+        rows: usize,
+        width: usize,
+    ) -> BlockEll {
+        // Padding: value 0.0, column `rows` (the sweep scratch keeps an
+        // always-zero slot there, see module docs).
+        let mut cols = vec![rows as u32; rows * width];
+        let mut vals = vec![0.0f64; rows * width];
+        for r in 0..rows {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            for (k, j) in (lo..hi).enumerate() {
+                cols[k * rows + r] = all_cols[j];
+                vals[k * rows + r] = all_vals[j];
+            }
+        }
+        BlockEll { rows, width, cols, vals }
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.block_offsets.len() - 1
+    }
+
+    /// Half-open row range of block `b`.
+    #[inline]
+    pub fn block_rows(&self, b: usize) -> (usize, usize) {
+        (self.block_offsets[b], self.block_offsets[b + 1])
+    }
+
+    /// Rows of the widest block (sizes every per-update scratch buffer).
+    #[inline]
+    pub fn widest_block(&self) -> usize {
+        self.widest_block
+    }
+
+    /// Pre-inverted diagonal, indexed by global row.
+    #[inline]
+    pub fn inv_diag(&self) -> &[f64] {
+        &self.inv_diag
+    }
+
+    /// Packed local entries of global row `r` (diagonal excluded):
+    /// block-rebased columns and values, in source CSR order.
+    #[inline]
+    pub fn local_row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.local_row_ptr[r], self.local_row_ptr[r + 1]);
+        (&self.local_cols[lo..hi], &self.local_vals[lo..hi])
+    }
+
+    /// Packed halo entries of global row `r`: global columns and values,
+    /// in source CSR order.
+    #[inline]
+    pub fn halo_row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.halo_row_ptr[r], self.halo_row_ptr[r + 1]);
+        (&self.halo_cols[lo..hi], &self.halo_vals[lo..hi])
+    }
+
+    /// ELL-packed local operator of block `b`, when the block qualifies
+    /// (all local rows at most [`ELL_MAX_WIDTH`] off-diagonal entries).
+    #[inline]
+    pub fn ell(&self, b: usize) -> Option<&BlockEll> {
+        self.ell[b].as_ref()
+    }
+
+    /// Total source nonzeros of block `b`'s rows (virtual update cost).
+    #[inline]
+    pub fn block_nnz(&self, b: usize) -> f64 {
+        self.block_nnz[b]
+    }
+
+    /// Sorted indices of the blocks whose components block `b` reads.
+    #[inline]
+    pub fn neighbors(&self, b: usize) -> &[usize] {
+        &self.neighbors[b]
+    }
+
+    /// Nonzeros inside the partition's diagonal blocks (the `nnz_local`
+    /// input of the timing model); counts the diagonal.
+    pub fn nnz_local(&self) -> usize {
+        self.local_cols.len() + self.n
+    }
+
+    /// Off-block nonzeros (the gathered halo entries).
+    pub fn nnz_halo(&self) -> usize {
+        self.halo_cols.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{laplacian_2d_5pt, random_diag_dominant};
+
+    #[test]
+    fn splits_every_entry_exactly_once() {
+        let a = laplacian_2d_5pt(6);
+        let p = RowPartition::uniform(36, 7).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        assert_eq!(plan.nnz_local() + plan.nnz_halo(), a.nnz());
+        // reassemble each row from diag + local + halo and compare
+        for r in 0..36 {
+            let (cols, vals) = a.row(r);
+            let blk = p.block(p.block_of(r));
+            let (lc, lv) = plan.local_row(r);
+            let (hc, hv) = plan.halo_row(r);
+            let mut rebuilt: Vec<(usize, f64)> = Vec::new();
+            rebuilt.push((r, 1.0 / plan.inv_diag()[r]));
+            rebuilt.extend(lc.iter().zip(lv).map(|(&c, &v)| (blk.start + c as usize, v)));
+            rebuilt.extend(hc.iter().zip(hv).map(|(&c, &v)| (c, v)));
+            rebuilt.sort_by_key(|&(c, _)| c);
+            let original: Vec<(usize, f64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+            assert_eq!(rebuilt.len(), original.len(), "row {r}");
+            for ((c1, v1), &(c2, v2)) in rebuilt.into_iter().zip(&original) {
+                assert_eq!(c1, c2, "row {r}");
+                assert!((v1 - v2).abs() < 1e-15, "row {r}: {v1} vs {v2}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_preserves_source_order() {
+        // halo of a row = its global CSR entries outside the block, in
+        // the same order (this is what makes the frozen-part gather
+        // bit-identical to the span-sliced original)
+        let a = random_diag_dominant(50, 6, 1.5, 3);
+        let p = RowPartition::uniform(50, 11).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        for r in 0..50 {
+            let blk = p.block(p.block_of(r));
+            let (cols, vals) = a.row(r);
+            let expect: Vec<(usize, f64)> = cols
+                .iter()
+                .zip(vals)
+                .filter(|&(&c, _)| !blk.contains(c))
+                .map(|(&c, &v)| (c, v))
+                .collect();
+            let (hc, hv) = plan.halo_row(r);
+            let got: Vec<(usize, f64)> = hc.iter().copied().zip(hv.iter().copied()).collect();
+            assert_eq!(got, expect, "row {r}");
+        }
+    }
+
+    #[test]
+    fn ell_packs_short_blocks_and_matches_csr() {
+        let a = laplacian_2d_5pt(5); // local widths <= 2 within grid-row blocks
+        let p = RowPartition::uniform(25, 5).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        for b in 0..plan.n_blocks() {
+            let ell = plan.ell(b).expect("5-pt stencil rows are short");
+            let (s, e) = plan.block_rows(b);
+            let nb = e - s;
+            assert_eq!(ell.rows(), nb);
+            // every CSR entry appears at its (row, k) slot
+            for (li, r) in (s..e).enumerate() {
+                let (lc, lv) = plan.local_row(r);
+                for (k, (&c, &v)) in lc.iter().zip(lv).enumerate() {
+                    assert_eq!(ell.cols()[k * nb + li], c);
+                    assert_eq!(ell.vals()[k * nb + li], v);
+                }
+                // the rest of the row is inert padding
+                for k in lc.len()..ell.width() {
+                    assert_eq!(ell.cols()[k * nb + li], nb as u32);
+                    assert_eq!(ell.vals()[k * nb + li], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_blocks_skip_ell() {
+        // one big block: local width = full row population of a dense-ish
+        // random matrix exceeds ELL_MAX_WIDTH somewhere
+        let a = random_diag_dominant(64, 12, 1.5, 1);
+        let p = RowPartition::uniform(64, 64).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        assert!(plan.ell(0).is_none(), "wide rows must not ELL-pack");
+    }
+
+    #[test]
+    fn neighbors_match_coupling() {
+        let a = laplacian_2d_5pt(4);
+        let p = RowPartition::uniform(16, 4).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        assert_eq!(plan.neighbors(0), &[1]);
+        assert_eq!(plan.neighbors(1), &[0, 2]);
+        assert_eq!(plan.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let mut coo = crate::CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(1, 0, 3.0).unwrap(); // no (1,1) entry
+        let a = coo.to_csr();
+        let p = RowPartition::uniform(2, 1).unwrap();
+        assert_eq!(
+            BlockPlan::compile(&a, &p).unwrap_err(),
+            SparseError::ZeroDiagonal { row: 1 }
+        );
+    }
+
+    #[test]
+    fn widest_block_and_costs() {
+        let a = laplacian_2d_5pt(4);
+        let p = RowPartition::uniform(16, 5).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        assert_eq!(plan.widest_block(), 5);
+        let total: f64 = (0..plan.n_blocks()).map(|b| plan.block_nnz(b)).sum();
+        assert_eq!(total, a.nnz() as f64);
+    }
+}

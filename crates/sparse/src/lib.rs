@@ -17,6 +17,8 @@
 //! * spectral estimation — power iteration and symmetric Lanczos — used to
 //!   compute the `rho(B)` / condition-number columns of Table 1 ([`spectra`]),
 //! * row-block partitioning for the block-asynchronous method ([`partition`]),
+//! * precompiled block-local kernel plans — packed local/halo operators
+//!   with pre-inverted diagonals — for allocation-free sweeps ([`block_plan`]),
 //! * reverse Cuthill–McKee reordering ([`reorder`]),
 //! * diagonal and tau-scaling ([`scaling`]),
 //! * MatrixMarket I/O ([`io`]).
@@ -24,6 +26,7 @@
 //! All floating-point work is `f64`; indices are `usize`.
 
 pub mod blas1;
+pub mod block_plan;
 pub mod coloring;
 pub mod coo;
 pub mod csr;
@@ -39,6 +42,7 @@ pub mod scaling;
 pub mod spectra;
 pub mod stats;
 
+pub use block_plan::{BlockEll, BlockPlan};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
