@@ -1,39 +1,12 @@
-//! The Table 4 question asked of *this* library: what do extra local
-//! sweeps cost per async-(k) global iteration, and how does block size
-//! change the per-iteration cost?
+//! Thin harness over [`abr_bench::suites::async_overhead`] — the bodies live in
+//! the library so `tests/bench_smoke.rs` can drive them under
+//! `cargo test` too.
 
-use abr_bench::{bench_partition, bench_system};
-use abr_core::{AsyncBlockSolver, SolveOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_local_sweeps(c: &mut Criterion) {
-    let (a, b, x0) = bench_system(60);
-    let p = bench_partition(a.n_rows(), 120);
-    let opts = SolveOptions::fixed_iterations(5);
-    let mut group = c.benchmark_group("async_local_sweeps");
-    for k in [1usize, 2, 3, 5, 9] {
-        let solver = AsyncBlockSolver::async_k(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
-            bch.iter(|| black_box(solver.solve(&a, &b, &x0, &p, &opts).expect("solve")))
-        });
-    }
-    group.finish();
+fn run(c: &mut Criterion) {
+    abr_bench::suites::async_overhead::all(c);
 }
 
-fn bench_block_sizes(c: &mut Criterion) {
-    let (a, b, x0) = bench_system(60);
-    let opts = SolveOptions::fixed_iterations(5);
-    let solver = AsyncBlockSolver::async_k(5);
-    let mut group = c.benchmark_group("async_block_size");
-    for bs in [30usize, 120, 448, 1200] {
-        let p = bench_partition(a.n_rows(), bs);
-        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |bch, _| {
-            bch.iter(|| black_box(solver.solve(&a, &b, &x0, &p, &opts).expect("solve")))
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_local_sweeps, bench_block_sizes);
+criterion_group!(benches, run);
 criterion_main!(benches);

@@ -1,43 +1,12 @@
-//! Throughput of the two execution fabrics: the discrete-event simulator
-//! versus real threads, at equal global-iteration budgets.
+//! Thin harness over [`abr_bench::suites::executors`] — the bodies live in
+//! the library so `tests/bench_smoke.rs` can drive them under
+//! `cargo test` too.
 
-use abr_bench::{bench_partition, bench_system};
-use abr_core::{AsyncBlockSolver, ExecutorKind, SolveOptions};
-use abr_gpu::{SimOptions, ThreadedOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_executors(c: &mut Criterion) {
-    let (a, b, x0) = bench_system(60);
-    let p = bench_partition(a.n_rows(), 120);
-    let opts = SolveOptions::fixed_iterations(10);
-    let mut group = c.benchmark_group("executors_10_globals");
-    group.sample_size(20);
-
-    let sim = AsyncBlockSolver {
-        executor: ExecutorKind::Sim(SimOptions::default()),
-        ..AsyncBlockSolver::async_k(5)
-    };
-    group.bench_function("discrete_event", |bch| {
-        bch.iter(|| black_box(sim.solve(&a, &b, &x0, &p, &opts).expect("solve")))
-    });
-
-    for workers in [2usize, 4, 8] {
-        let thr = AsyncBlockSolver {
-            executor: ExecutorKind::Threaded(ThreadedOptions {
-                n_workers: workers,
-                snapshot_rounds: false,
-            }),
-            ..AsyncBlockSolver::async_k(5)
-        };
-        group.bench_with_input(
-            BenchmarkId::new("threads", workers),
-            &workers,
-            |bch, _| bch.iter(|| black_box(thr.solve(&a, &b, &x0, &p, &opts).expect("solve"))),
-        );
-    }
-    group.finish();
+fn run(c: &mut Criterion) {
+    abr_bench::suites::executors::all(c);
 }
 
-criterion_group!(benches, bench_executors);
+criterion_group!(benches, run);
 criterion_main!(benches);

@@ -1,55 +1,12 @@
-//! Ablation benches for the extension features: multigrid smoother
-//! choice, RCM reordering, spectral estimation.
+//! Thin harness over [`abr_bench::suites::extensions`] — the bodies live in
+//! the library so `tests/bench_smoke.rs` can drive them under
+//! `cargo test` too.
 
-use abr_core::multigrid::Multigrid;
-use abr_core::smoother::{AsyncSmoother, DampedJacobiSmoother, GaussSeidelSmoother};
-use abr_core::SolveOptions;
-use abr_sparse::gen::{laplacian_2d_5pt, trefethen};
-use abr_sparse::reorder::reverse_cuthill_mckee;
-use abr_sparse::IterationMatrix;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_multigrid_smoothers(c: &mut Criterion) {
-    let a = laplacian_2d_5pt(24); // n = 576
-    let n = a.n_rows();
-    let b = a.mul_vec(&vec![1.0; n]).expect("square");
-    let opts = SolveOptions::to_tolerance(1e-8, 60);
-    let mut group = c.benchmark_group("multigrid_smoothers");
-    group.sample_size(20);
-
-    group.bench_function("damped_jacobi", |bch| {
-        let mg = Multigrid::new(&a, DampedJacobiSmoother::default(), 16).expect("hierarchy");
-        bch.iter(|| black_box(mg.solve(&b, &vec![0.0; n], &opts).expect("solve")))
-    });
-    group.bench_function("gauss_seidel", |bch| {
-        let mg = Multigrid::new(&a, GaussSeidelSmoother, 16).expect("hierarchy");
-        bch.iter(|| black_box(mg.solve(&b, &vec![0.0; n], &opts).expect("solve")))
-    });
-    group.bench_function("async_block", |bch| {
-        let sm = AsyncSmoother { block_size: 48, ..Default::default() };
-        let mg = Multigrid::new(&a, sm, 16).expect("hierarchy");
-        bch.iter(|| black_box(mg.solve(&b, &vec![0.0; n], &opts).expect("solve")))
-    });
-    group.finish();
+fn run(c: &mut Criterion) {
+    abr_bench::suites::extensions::all(c);
 }
 
-fn bench_rcm(c: &mut Criterion) {
-    let a = trefethen(2000).expect("generator");
-    c.bench_function("rcm_trefethen_2000", |b| {
-        b.iter(|| black_box(reverse_cuthill_mckee(&a)))
-    });
-}
-
-fn bench_spectra(c: &mut Criterion) {
-    let a = laplacian_2d_5pt(40);
-    c.bench_function("spectral_radius_1600", |b| {
-        b.iter(|| {
-            let it = IterationMatrix::new(&a).expect("diag");
-            black_box(it.spectral_radius().expect("converges"))
-        })
-    });
-}
-
-criterion_group!(benches, bench_multigrid_smoothers, bench_rcm, bench_spectra);
+criterion_group!(benches, run);
 criterion_main!(benches);

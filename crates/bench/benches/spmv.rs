@@ -1,82 +1,12 @@
-//! Sparse matrix–vector product throughput across the paper's matrix
-//! structures.
+//! Thin harness over [`abr_bench::suites::spmv`] — the bodies live in
+//! the library so `tests/bench_smoke.rs` can drive them under
+//! `cargo test` too.
 
-use abr_sparse::gen::{chem_ztz, laplacian_2d_9pt, trefethen};
-use abr_sparse::EllMatrix;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmv");
-    let cases = vec![
-        ("fv-like-9pt", laplacian_2d_9pt(60)),
-        ("trefethen", trefethen(2000).expect("generator")),
-        ("chem-ztz", chem_ztz(2541, 0.7889).expect("generator")),
-    ];
-    for (name, a) in cases {
-        let x: Vec<f64> = (0..a.n_cols()).map(|i| 1.0 + (i as f64 * 0.01).sin()).collect();
-        let mut y = vec![0.0; a.n_rows()];
-        group.throughput(Throughput::Elements(a.nnz() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &a, |b, a| {
-            b.iter(|| {
-                a.spmv(black_box(&x), &mut y).expect("dims");
-                black_box(&y);
-            })
-        });
-    }
-    group.finish();
+fn run(c: &mut Criterion) {
+    abr_bench::suites::spmv::all(c);
 }
 
-fn bench_ell_spmv(c: &mut Criterion) {
-    let a = laplacian_2d_9pt(60);
-    let e = EllMatrix::from_csr(&a);
-    let x: Vec<f64> = (0..a.n_cols()).map(|i| 1.0 + (i as f64 * 0.01).sin()).collect();
-    let mut y = vec![0.0; a.n_rows()];
-    let mut group = c.benchmark_group("spmv_format");
-    group.throughput(Throughput::Elements(a.nnz() as u64));
-    group.bench_function("csr", |b| {
-        b.iter(|| {
-            a.spmv(black_box(&x), &mut y).expect("dims");
-            black_box(&y);
-        })
-    });
-    group.bench_function("ell", |b| {
-        b.iter(|| {
-            e.spmv(black_box(&x), &mut y).expect("dims");
-            black_box(&y);
-        })
-    });
-    group.finish();
-}
-
-fn bench_par_spmv(c: &mut Criterion) {
-    let a = trefethen(20000).expect("generator");
-    let x: Vec<f64> = (0..a.n_cols()).map(|i| 1.0 + (i as f64 * 0.001).sin()).collect();
-    let mut y = vec![0.0; a.n_rows()];
-    let mut group = c.benchmark_group("spmv_threads_trefethen_20000");
-    group.sample_size(20);
-    for threads in [1usize, 2, 4] {
-        let ctx = abr_sparse::par::ParContext::new(threads);
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| {
-                ctx.spmv(&a, black_box(&x), &mut y).expect("dims");
-                black_box(&y);
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_spgemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spgemm");
-    for m in [20usize, 40] {
-        let l = abr_sparse::gen::laplacian_2d_5pt(m);
-        group.bench_with_input(BenchmarkId::new("laplacian_squared", m), &l, |b, l| {
-            b.iter(|| black_box(l.spgemm(l).expect("square")))
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_spmv, bench_ell_spmv, bench_par_spmv, bench_spgemm);
+criterion_group!(benches, run);
 criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The Table 4 question asked of *this* library: what do extra local
+//! sweeps cost per async-(k) global iteration, and how does block size
+//! change the per-iteration cost?
+
+use crate::{bench_partition, bench_system};
+use abr_core::{AsyncBlockSolver, SolveOptions};
+use criterion::{black_box, BenchmarkId, Criterion};
+
+/// Cost of k in async-(k) at a fixed global-iteration budget.
+pub fn bench_local_sweeps(c: &mut Criterion) {
+    let (a, b, x0) = bench_system(60);
+    let p = bench_partition(a.n_rows(), 120);
+    let opts = SolveOptions::fixed_iterations(5);
+    let mut group = c.benchmark_group("async_local_sweeps");
+    for k in [1usize, 2, 3, 5, 9] {
+        let solver = AsyncBlockSolver::async_k(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
+            bch.iter(|| black_box(solver.solve(&a, &b, &x0, &p, &opts).expect("solve")))
+        });
+    }
+    group.finish();
+}
+
+/// Cost of the block (subdomain) size at fixed k.
+pub fn bench_block_sizes(c: &mut Criterion) {
+    let (a, b, x0) = bench_system(60);
+    let opts = SolveOptions::fixed_iterations(5);
+    let solver = AsyncBlockSolver::async_k(5);
+    let mut group = c.benchmark_group("async_block_size");
+    for bs in [30usize, 120, 448, 1200] {
+        let p = bench_partition(a.n_rows(), bs);
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |bch, _| {
+            bch.iter(|| black_box(solver.solve(&a, &b, &x0, &p, &opts).expect("solve")))
+        });
+    }
+    group.finish();
+}
+
+/// The whole suite.
+pub fn all(c: &mut Criterion) {
+    bench_local_sweeps(c);
+    bench_block_sizes(c);
+}

@@ -1,0 +1,88 @@
+//! Plan-path vs span-sliced-path block updates: the speedup the
+//! precompiled `BlockPlan` layer buys on the async-(k) hot loop.
+//!
+//! For each system (the 100x100 2D Laplacian of the acceptance target and
+//! a random strictly diagonally dominant matrix) and each k in {1, 5},
+//! one "iteration" updates **every** block once against a fixed iterate:
+//! `plan` through `update_block_with` with a reused scratch (the executor
+//! hot path), `reference` through the old allocating span-sliced
+//! implementation. Set `CRITERION_JSON=BENCH_block_plan.json` to record
+//! the numbers.
+
+use crate::bench_partition;
+use abr_core::async_block::AsyncJacobiKernel;
+use abr_gpu::{BlockKernel, BlockScratch, XView};
+use abr_sparse::gen::{laplacian_2d_5pt, random_diag_dominant};
+use abr_sparse::{CsrMatrix, RowPartition};
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+
+fn varied_iterate(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.37).sin() + 0.1).collect()
+}
+
+fn sweep_all_blocks_plan(
+    kernel: &AsyncJacobiKernel<'_>,
+    x: &[f64],
+    out: &mut [f64],
+    scratch: &mut BlockScratch,
+) {
+    for b in 0..kernel.n_blocks() {
+        let (s, e) = kernel.block_range(b);
+        kernel.update_block_with(b, &XView::Plain(x), &mut out[..e - s], scratch);
+    }
+}
+
+fn sweep_all_blocks_reference(kernel: &AsyncJacobiKernel<'_>, x: &[f64], out: &mut [f64]) {
+    for b in 0..kernel.n_blocks() {
+        let (s, e) = kernel.block_range(b);
+        kernel.update_block_reference(b, &XView::Plain(x), &mut out[..e - s]);
+    }
+}
+
+fn bench_one_system(c: &mut Criterion, label: &str, a: &CsrMatrix, p: &RowPartition) {
+    let n = a.n_rows();
+    let rhs = a.mul_vec(&vec![1.0; n]).expect("square");
+    let x = varied_iterate(n);
+    let widest = p.blocks().iter().map(|b| b.len()).max().unwrap();
+    let mut out = vec![0.0; widest];
+
+    let mut group = c.benchmark_group(format!("block_update/{label}"));
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+    for k in [1usize, 5] {
+        let kernel = AsyncJacobiKernel::new(a, &rhs, p, k, 1.0).expect("diag dominant");
+        let mut scratch = BlockScratch::new();
+        group.bench_with_input(BenchmarkId::new("plan", k), &k, |bch, _| {
+            bch.iter(|| {
+                sweep_all_blocks_plan(&kernel, black_box(&x), &mut out, &mut scratch);
+                black_box(&out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", k), &k, |bch, _| {
+            bch.iter(|| {
+                sweep_all_blocks_reference(&kernel, black_box(&x), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance-criterion system: 100x100 grid, n = 10_000.
+pub fn bench_laplacian(c: &mut Criterion) {
+    let a = laplacian_2d_5pt(100);
+    let p = bench_partition(a.n_rows(), 100);
+    bench_one_system(c, "laplacian_100x100", &a, &p);
+}
+
+/// A random strictly diagonally dominant system.
+pub fn bench_random(c: &mut Criterion) {
+    let a = random_diag_dominant(10_000, 6, 1.4, 42);
+    let p = bench_partition(a.n_rows(), 100);
+    bench_one_system(c, "random_dd_10k", &a, &p);
+}
+
+/// The whole suite.
+pub fn all(c: &mut Criterion) {
+    bench_laplacian(c);
+    bench_random(c);
+}

@@ -1,0 +1,103 @@
+//! Executor throughput: the persistent-worker fabric against the legacy
+//! chunked-respawn driver, plus the discrete-event simulator for context.
+//!
+//! The headline comparison is **solve-to-tolerance** with the default
+//! `check_every = 10`: the chunked path pays a full thread-scope respawn,
+//! two whole-vector copies, and a synchronous host residual every ten
+//! global iterations, while the persistent path spawns its workers once
+//! and checks convergence concurrently. The system is deliberately small
+//! (n = 256, 16 blocks) so dispatch overhead dominates per-round compute
+//! — the regime the paper targets, where kernel-launch/host-sync cost is
+//! what block-asynchronous execution amortises away. Chunked respawn cost
+//! grows with the worker count (one spawn+join per worker per chunk);
+//! the persistent fabric pays it once per solve. The persistent path may
+//! run extra global iterations past the crossing point before the
+//! concurrent monitor lands its check — the paper's async tradeoff:
+//! more iterations, less wall time. Set
+//! `CRITERION_JSON=BENCH_executors.json` to record the numbers.
+
+use crate::{bench_partition, bench_system};
+use abr_core::{AsyncBlockSolver, ExecutorKind, SolveOptions};
+use abr_gpu::{SimOptions, ThreadedOptions};
+use criterion::{black_box, BenchmarkId, Criterion};
+
+/// Solve-to-tolerance: chunked-respawn vs persistent at equal worker
+/// counts — the acceptance comparison of the persistent executor.
+pub fn bench_solve_to_tolerance(c: &mut Criterion) {
+    let (a, b, x0) = bench_system(16); // n = 256
+    let p = bench_partition(a.n_rows(), 16);
+    let opts = SolveOptions {
+        max_iters: 20_000,
+        tol: 1e-8,
+        record_history: false,
+        check_every: 10,
+    };
+    let mut group = c.benchmark_group("executors_solve_1e-8");
+    group.sample_size(10);
+    for workers in [8usize, 16] {
+        let t_opts = ThreadedOptions { n_workers: workers, snapshot_rounds: false };
+        let chunked = AsyncBlockSolver {
+            executor: ExecutorKind::ThreadedChunked(t_opts.clone()),
+            ..AsyncBlockSolver::async_k(5)
+        };
+        let persistent = AsyncBlockSolver {
+            executor: ExecutorKind::Threaded(t_opts),
+            ..AsyncBlockSolver::async_k(5)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("chunked_respawn", workers),
+            &workers,
+            |bch, _| {
+                bch.iter(|| black_box(chunked.solve(&a, &b, &x0, &p, &opts).expect("solve")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("persistent", workers),
+            &workers,
+            |bch, _| {
+                bch.iter(|| black_box(persistent.solve(&a, &b, &x0, &p, &opts).expect("solve")))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fixed global-iteration budget across all three fabrics (the original
+/// throughput comparison, kept for continuity).
+pub fn bench_fixed_budget(c: &mut Criterion) {
+    let (a, b, x0) = bench_system(60);
+    let p = bench_partition(a.n_rows(), 120);
+    let opts = SolveOptions::fixed_iterations(10);
+    let mut group = c.benchmark_group("executors_10_globals");
+    group.sample_size(20);
+
+    let sim = AsyncBlockSolver {
+        executor: ExecutorKind::Sim(SimOptions::default()),
+        ..AsyncBlockSolver::async_k(5)
+    };
+    group.bench_function("discrete_event", |bch| {
+        bch.iter(|| black_box(sim.solve(&a, &b, &x0, &p, &opts).expect("solve")))
+    });
+
+    for workers in [2usize, 4, 8] {
+        let thr = AsyncBlockSolver {
+            executor: ExecutorKind::Threaded(ThreadedOptions {
+                n_workers: workers,
+                snapshot_rounds: false,
+            }),
+            ..AsyncBlockSolver::async_k(5)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("threads", workers),
+            &workers,
+            |bch, _| bch.iter(|| black_box(thr.solve(&a, &b, &x0, &p, &opts).expect("solve"))),
+        );
+    }
+    group.finish();
+}
+
+/// The whole suite.
+pub fn all(c: &mut Criterion) {
+    bench_solve_to_tolerance(c);
+    bench_fixed_budget(c);
+}

@@ -1,0 +1,57 @@
+//! One bench per paper artifact: each regenerates the corresponding
+//! table/figure at reduced scale, so `cargo bench` exercises the complete
+//! reproduction pipeline end to end and tracks its cost over time.
+
+use abr_exp::experiments::{
+    ablation, convergence_figs, fault_exp, fig11, fig9, nondet, table1, timing_tables,
+};
+use abr_exp::{ExpOptions, Scale};
+use criterion::{black_box, Criterion};
+
+fn small_opts() -> ExpOptions {
+    ExpOptions { scale: Scale::Small, runs: 4, seed: 11 }
+}
+
+/// Every reduced-scale paper artifact, one bench each.
+pub fn bench_artifacts(c: &mut Criterion) {
+    let opts = small_opts();
+    let mut group = c.benchmark_group("repro_small");
+    group.sample_size(10);
+
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(table1::run(&opts).expect("table1")))
+    });
+    group.bench_function("tables2_3_fig5_nondet", |b| {
+        b.iter(|| black_box(nondet::run(&opts).expect("nondet")))
+    });
+    group.bench_function("fig6_fig7_convergence", |b| {
+        b.iter(|| black_box(convergence_figs::run(&opts).expect("convergence")))
+    });
+    group.bench_function("table4_local_sweeps", |b| {
+        b.iter(|| black_box(timing_tables::table4(&opts).expect("table4")))
+    });
+    group.bench_function("table5_avg_timings", |b| {
+        b.iter(|| black_box(timing_tables::table5(&opts).expect("table5")))
+    });
+    group.bench_function("fig8_avg_per_iteration", |b| {
+        b.iter(|| black_box(timing_tables::fig8(&opts).expect("fig8")))
+    });
+    group.bench_function("fig9_residual_vs_time", |b| {
+        b.iter(|| black_box(fig9::run(&opts).expect("fig9")))
+    });
+    group.bench_function("fig10_table6_faults", |b| {
+        b.iter(|| black_box(fault_exp::run(&opts).expect("fault")))
+    });
+    group.bench_function("fig11_multigpu", |b| {
+        b.iter(|| black_box(fig11::run(&opts).expect("fig11")))
+    });
+    group.bench_function("ablations", |b| {
+        b.iter(|| black_box(ablation::run(&opts).expect("ablation")))
+    });
+    group.finish();
+}
+
+/// The whole suite.
+pub fn all(c: &mut Criterion) {
+    bench_artifacts(c);
+}

@@ -18,12 +18,13 @@
 //! discrete-event simulator for reproducible experiments, or real threads
 //! for genuine hardware chaos.
 
-use crate::convergence::{check_system, relative_residual, SolveOptions, SolveResult};
+use crate::convergence::{check_system, relative_residual_with, SolveOptions, SolveResult};
 use abr_gpu::kernel::AllowAll;
 use abr_gpu::schedule::BlockSchedule;
 use abr_gpu::{
-    BlockKernel, BlockScratch, RandomPermutation, RecurringPattern, RoundRobin, SimExecutor,
-    SimOptions, ThreadedExecutor, ThreadedOptions, UpdateFilter, XView,
+    BlockKernel, BlockScratch, ConvergenceMonitor, PersistentExecutor, PersistentOptions,
+    PersistentWorkspace, RandomPermutation, RecurringPattern, RoundRobin, SimExecutor, SimOptions,
+    ThreadedExecutor, ThreadedOptions, UpdateFilter, XView,
 };
 use abr_sparse::block_plan::BlockEll;
 use abr_sparse::{BlockPlan, CsrMatrix, Result, RowPartition};
@@ -77,7 +78,18 @@ pub enum ExecutorKind {
     /// Seeded discrete-event simulation (reproducible).
     Sim(SimOptions),
     /// Real OS threads over an atomic shared vector (non-deterministic).
+    /// Solves to tolerance through the persistent-worker executor
+    /// ([`abr_gpu::persistent`]): workers spawned once, convergence
+    /// checked concurrently by the calling thread. Falls back to the
+    /// chunked-respawn driver only when `record_history` demands
+    /// per-round snapshots.
     Threaded(ThreadedOptions),
+    /// The legacy chunked-respawn threaded path: the driver respawns the
+    /// whole thread scope every `check_every` rounds and blocks on a
+    /// host-side residual between chunks. Kept as the measurable baseline
+    /// the persistent executor is benchmarked against
+    /// (`benches/executors.rs`); prefer [`ExecutorKind::Threaded`].
+    ThreadedChunked(ThreadedOptions),
 }
 
 impl Default for ExecutorKind {
@@ -202,10 +214,21 @@ impl AsyncBlockSolver {
         assert!(self.local_iters >= 1, "async-(k) needs k >= 1");
         let mut schedule = self.schedule.build();
 
+        // The persistent path: workers spawned once for the whole solve,
+        // convergence monitored concurrently — no chunk barriers at all.
+        // Only per-round history recording still needs the chunked driver
+        // (the monitor observes the iterate at check periods, not rounds).
+        if let ExecutorKind::Threaded(t_opts) = &self.executor {
+            if !opts.record_history {
+                return self.solve_persistent(a, rhs, x0, kernel, opts, filter, t_opts, schedule.as_mut());
+            }
+        }
+
         let mut x = x0.to_vec();
         let mut history: Vec<f64> = Vec::new();
         let mut iterations = 0usize;
         let mut converged = false;
+        let mut rbuf: Vec<f64> = Vec::new();
 
         // Chunked driving: the executor runs `chunk` asynchronous global
         // rounds at a time; between chunks the *driver* (host) checks
@@ -231,12 +254,12 @@ impl AsyncBlockSolver {
                         &offset_filter,
                         |_k, xk| {
                             if opts.record_history {
-                                history.push(relative_residual(a, rhs, xk));
+                                history.push(relative_residual_with(&mut rbuf, a, rhs, xk));
                             }
                         },
                     );
                 }
-                ExecutorKind::Threaded(t_opts) => {
+                ExecutorKind::Threaded(t_opts) | ExecutorKind::ThreadedChunked(t_opts) => {
                     let exec = ThreadedExecutor::new(ThreadedOptions {
                         snapshot_rounds: opts.record_history,
                         ..t_opts.clone()
@@ -245,7 +268,7 @@ impl AsyncBlockSolver {
                         exec.run(kernel, &x, rounds, &mut offset_schedule, &offset_filter);
                     if opts.record_history {
                         for snap in &snaps {
-                            history.push(relative_residual(a, rhs, snap));
+                            history.push(relative_residual_with(&mut rbuf, a, rhs, snap));
                         }
                     }
                     x = x_new;
@@ -253,7 +276,7 @@ impl AsyncBlockSolver {
             }
             iterations += rounds;
             if opts.tol > 0.0 {
-                let rr = relative_residual(a, rhs, &x);
+                let rr = relative_residual_with(&mut rbuf, a, rhs, &x);
                 if rr <= opts.tol {
                     converged = true;
                 } else if !rr.is_finite() {
@@ -262,11 +285,49 @@ impl AsyncBlockSolver {
             }
         }
 
-        let final_residual = relative_residual(a, rhs, &x);
+        let final_residual = relative_residual_with(&mut rbuf, a, rhs, &x);
         if opts.tol > 0.0 && final_residual <= opts.tol {
             converged = true;
         }
         Ok(SolveResult { x, iterations, converged, final_residual, history })
+    }
+
+    /// The persistent-worker solve: spawns the executor's workers once,
+    /// runs them against the whole `max_iters` budget, and checks
+    /// convergence *concurrently* through a [`ResidualMonitor`] every
+    /// `check_every` global iterations — the paper's host watching the
+    /// racy iterate while the device keeps updating. Zero thread spawns,
+    /// zero full-vector copies, and zero allocation after solve start,
+    /// except the monitor's reused snapshot and residual buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_persistent(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        kernel: &AsyncJacobiKernel<'_>,
+        opts: &SolveOptions,
+        filter: &dyn UpdateFilter,
+        t_opts: &ThreadedOptions,
+        schedule: &mut dyn BlockSchedule,
+    ) -> Result<SolveResult> {
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: t_opts.n_workers,
+            ..PersistentOptions::default()
+        });
+        let period = if opts.tol > 0.0 { opts.check_every.max(1) } else { 0 };
+        let mut monitor = ResidualMonitor::new(a, rhs, opts.tol, period);
+        let mut ws = PersistentWorkspace::new();
+        let mut x = x0.to_vec();
+        let (_trace, report) =
+            exec.run(kernel, &mut x, opts.max_iters, schedule, filter, &mut monitor, &mut ws);
+        // The monitor's stop watermark is the meaningful iteration count;
+        // an unstopped run consumed the full budget.
+        let iterations = report.stopped_at.unwrap_or(opts.max_iters);
+        let mut rbuf = monitor.into_scratch();
+        let final_residual = relative_residual_with(&mut rbuf, a, rhs, &x);
+        let converged = opts.tol > 0.0 && final_residual <= opts.tol;
+        Ok(SolveResult { x, iterations, converged, final_residual, history: Vec::new() })
     }
 }
 
@@ -314,6 +375,48 @@ struct OffsetSchedule<'a> {
 impl BlockSchedule for OffsetSchedule<'_> {
     fn order(&mut self, round: usize, n_blocks: usize, out: &mut Vec<usize>) {
         self.inner.order(round + self.offset, n_blocks, out);
+    }
+}
+
+/// The host-side concurrent convergence check of the persistent solve
+/// path: every `period` global iterations it computes the relative
+/// residual of the monitor's snapshot (through the reused scratch buffer
+/// of [`relative_residual_with`]) and stops the workers once it reaches
+/// `tol` — or once the iterate turns non-finite, the divergent regime the
+/// chunked driver also bails out of.
+pub struct ResidualMonitor<'a> {
+    a: &'a CsrMatrix,
+    rhs: &'a [f64],
+    tol: f64,
+    period: usize,
+    scratch: Vec<f64>,
+    /// `(global_iteration, relative_residual)` of the last check.
+    pub last_check: Option<(usize, f64)>,
+}
+
+impl<'a> ResidualMonitor<'a> {
+    /// A monitor stopping at relative residual `tol`, checking every
+    /// `period` global iterations (`0` never checks).
+    pub fn new(a: &'a CsrMatrix, rhs: &'a [f64], tol: f64, period: usize) -> Self {
+        ResidualMonitor { a, rhs, tol, period, scratch: Vec::new(), last_check: None }
+    }
+
+    /// Consumes the monitor, handing back its residual scratch buffer so
+    /// the caller's final residual computation reuses it too.
+    pub fn into_scratch(self) -> Vec<f64> {
+        self.scratch
+    }
+}
+
+impl ConvergenceMonitor for ResidualMonitor<'_> {
+    fn period(&self) -> usize {
+        self.period
+    }
+
+    fn check(&mut self, global_iteration: usize, x: &[f64]) -> bool {
+        let rr = relative_residual_with(&mut self.scratch, self.a, self.rhs, x);
+        self.last_check = Some((global_iteration, rr));
+        rr <= self.tol || !rr.is_finite()
     }
 }
 

@@ -83,17 +83,29 @@ impl SolveResult {
 /// the summation order and with it the convergence histories.
 pub fn relative_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
     let mut r = vec![0.0; a.n_rows()];
+    relative_residual_with(&mut r, a, b, x)
+}
+
+/// [`relative_residual`] with a caller-provided scratch buffer for the
+/// residual vector, so repeated checks inside a solve loop (or a
+/// concurrent convergence monitor) allocate nothing. `buf` is resized to
+/// `a.n_rows()` on first use and reused afterwards; its contents on entry
+/// are irrelevant, on exit it holds `b - Ax`. Bit-identical to
+/// [`relative_residual`].
+pub fn relative_residual_with(buf: &mut Vec<f64>, a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    buf.clear();
+    buf.resize(a.n_rows(), 0.0);
     ParContext::paper_cpu()
-        .spmv(a, x, &mut r)
+        .spmv(a, x, buf)
         .expect("dimensions checked by solver entry");
-    for (ri, &bi) in r.iter_mut().zip(b) {
+    for (ri, &bi) in buf.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
     let nb = blas1::norm2(b);
     if nb == 0.0 {
-        blas1::norm2(&r)
+        blas1::norm2(buf)
     } else {
-        blas1::norm2(&r) / nb
+        blas1::norm2(buf) / nb
     }
 }
 
@@ -143,6 +155,23 @@ mod tests {
         let r = a.residual(&b, &x).unwrap();
         let expect = blas1::norm2(&r) / blas1::norm2(&b);
         assert_eq!(rr.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_reuses_buffer() {
+        let a = abr_sparse::gen::laplacian_2d_5pt(20);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.013).cos()).collect();
+        let b = a.mul_vec(&vec![1.0; 400]).unwrap();
+        let mut buf = Vec::new();
+        let rr = relative_residual_with(&mut buf, &a, &b, &x);
+        assert_eq!(rr.to_bits(), relative_residual(&a, &b, &x).to_bits());
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        for _ in 0..3 {
+            relative_residual_with(&mut buf, &a, &b, &x);
+            assert_eq!(buf.as_ptr(), ptr, "scratch buffer must be reused");
+            assert_eq!(buf.capacity(), cap);
+        }
     }
 
     #[test]

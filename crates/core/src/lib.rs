@@ -37,7 +37,7 @@ pub mod scaled;
 pub mod smoother;
 pub mod sor;
 
-pub use async_block::{AsyncBlockSolver, ExecutorKind, LocalSweep, ScheduleKind};
+pub use async_block::{AsyncBlockSolver, ExecutorKind, LocalSweep, ResidualMonitor, ScheduleKind};
 pub use bicgstab::bicgstab;
 pub use block_jacobi::block_jacobi;
 pub use cg::conjugate_gradient;

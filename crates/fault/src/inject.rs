@@ -78,7 +78,8 @@ impl UpdateFilter for ComponentFailure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abr_core::{AsyncBlockSolver, SolveOptions};
+    use abr_core::{AsyncBlockSolver, ExecutorKind, SolveOptions};
+    use abr_gpu::ThreadedOptions;
     use abr_sparse::gen::random_diag_dominant;
     use abr_sparse::RowPartition;
 
@@ -144,5 +145,33 @@ mod tests {
         );
         // ... with some delay relative to the healthy run.
         assert!(r_rec.final_residual >= healthy.final_residual * 0.99);
+    }
+
+    #[test]
+    fn recovering_run_reconverges_on_the_persistent_threaded_path() {
+        // The same Figure 10 recovery claim through the persistent-worker
+        // executor: the failure filter sees absolute global iterations
+        // (outage at rounds 10..30) while the concurrent monitor stops
+        // the workers once the post-recovery iterate reaches tolerance.
+        let a = random_diag_dominant(100, 4, 1.5, 2);
+        let n = 100;
+        let rhs = a.mul_vec(&vec![1.0; n]).unwrap();
+        let p = RowPartition::uniform(n, 10).unwrap();
+        let solver = AsyncBlockSolver {
+            executor: ExecutorKind::Threaded(ThreadedOptions::default()),
+            ..AsyncBlockSolver::async_k(5)
+        };
+        let opts = SolveOptions::to_tolerance(1e-8, 5_000);
+        let recovering = FailureScenario::paper_default(Some(20), 1).build(n);
+        let r = solver
+            .solve_filtered(&a, &rhs, &vec![0.0; n], &p, &opts, &recovering)
+            .unwrap();
+        assert!(r.converged, "residual {}", r.final_residual);
+        assert!(
+            r.iterations < 5_000,
+            "the concurrent monitor must stop the workers early: {}",
+            r.iterations
+        );
+        assert!(r.iterations > 30, "cannot converge before the outage ends");
     }
 }

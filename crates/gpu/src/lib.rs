@@ -23,6 +23,7 @@
 pub mod device;
 pub mod kernel;
 pub mod occupancy;
+pub mod persistent;
 pub mod schedule;
 pub mod sim;
 pub mod threaded;
@@ -34,6 +35,10 @@ pub mod xview;
 pub use device::{DeviceSpec, HostSpec};
 pub use kernel::{BlockKernel, BlockScratch, UpdateFilter};
 pub use occupancy::{occupancy, KernelFootprint, Occupancy, SmLimits};
+pub use persistent::{
+    ConvergenceMonitor, NoMonitor, PersistentExecutor, PersistentOptions, PersistentReport,
+    PersistentWorkspace,
+};
 pub use schedule::{BlockSchedule, RandomPermutation, RecurringPattern, RoundRobin};
 pub use sim::{SimExecutor, SimOptions};
 pub use threaded::{ThreadedExecutor, ThreadedOptions};

@@ -1,0 +1,658 @@
+//! The persistent-worker executor: threads spawned **once per solve**,
+//! convergence checked **concurrently** by the calling thread.
+//!
+//! [`crate::threaded::ThreadedExecutor`] realises asynchronous chaos, but
+//! driving it to a tolerance means chunked respawning: every
+//! `check_every` rounds the whole thread scope is torn down, the iterate
+//! is round-tripped through fresh storage, and the driver blocks on a
+//! host-side residual. The paper's method has *no* such barrier — its
+//! CUDA kernels stream continuously while the host reads the (racy)
+//! iterate on the side and decides when to stop. This executor is that
+//! shape:
+//!
+//! * **Workers persist.** `n_workers` OS threads are spawned once and run
+//!   until the round budget is exhausted or the stop flag flips. No
+//!   spawn/join, no iterate copies, no allocation inside the solve loop.
+//! * **Sharded tickets with work-stealing.** The blocks are split into
+//!   per-worker shards (contiguous ranges — the paper's SM-owns-its-blocks
+//!   locality), each with its own atomic round counter. A worker drains
+//!   its home shard first and steals from the others only when its own is
+//!   exhausted, so the single contended global counter of the chunked
+//!   executor disappears from the hot path.
+//! * **The host is the monitor.** The calling thread plays the paper's
+//!   host: it snapshots the live [`AtomicF64Vec`] into a reused buffer,
+//!   runs an arbitrary [`ConvergenceMonitor`] check against it *while the
+//!   workers keep iterating*, and raises a relaxed [`AtomicBool`] stop
+//!   flag when the check fires — recording the global-iteration watermark
+//!   at which it did, so iteration counts stay meaningful.
+//!
+//! Results are non-deterministic run to run, exactly like the chunked
+//! threaded executor; the discrete-event simulator remains the
+//! reproducible oracle.
+
+use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
+use crate::schedule::BlockSchedule;
+use crate::threaded::acquire_block_flag;
+use crate::trace::UpdateTrace;
+use crate::xview::{AtomicF64Vec, XView};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Options for [`PersistentExecutor`].
+#[derive(Debug, Clone)]
+pub struct PersistentOptions {
+    /// Number of persistent OS worker threads (also the shard count,
+    /// capped at the number of blocks). Defaults like
+    /// [`crate::ThreadedOptions`]: available parallelism, capped at 8.
+    pub n_workers: usize,
+    /// How many rounds of the block schedule to materialise into the
+    /// per-shard ticket lists. Budgets beyond this cycle reuse the
+    /// materialised pattern (with correct absolute round indices), so an
+    /// unbounded solve does not need unbounded ticket storage. Within the
+    /// first `schedule_cycle` rounds the dispatch order is exactly the
+    /// schedule's.
+    pub schedule_cycle: usize,
+    /// Base (minimum) pause between the monitor's watermark polls. The
+    /// monitor paces itself from the observed watermark rate — sleeping
+    /// roughly until the next check period is due, clamped to
+    /// `[monitor_pause, 64 * monitor_pause]` — so it reacts within about
+    /// half a check period yet stays nearly silent in between. It shares
+    /// cores with the workers (as the paper's host shares the PCIe bus),
+    /// and on a single-core host every needless wakeup preempts a worker.
+    pub monitor_pause: Duration,
+    /// How many rounds a shard may run ahead of the laggiest unfinished
+    /// shard. Workers skip shards beyond this window and steal from the
+    /// lagging ones instead, bounding the realised staleness — the
+    /// admissibility condition (paper Eq. 2) requires the shift to be
+    /// bounded, and an OS scheduler (unlike the GPU's hardware dispatcher)
+    /// will happily let one worker drain its whole budget in a single
+    /// timeslice if nothing stops it.
+    pub max_round_lag: usize,
+}
+
+impl Default for PersistentOptions {
+    fn default() -> Self {
+        let par = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        PersistentOptions {
+            n_workers: par.min(8),
+            schedule_cycle: 256,
+            monitor_pause: Duration::from_micros(50),
+            max_round_lag: 1,
+        }
+    }
+}
+
+/// The host-side convergence check run concurrently with the workers.
+///
+/// The executor polls the global-iteration watermark (the minimum
+/// per-block update count, relaxed loads — racy by design); every
+/// [`period`](Self::period) watermark steps it snapshots the live iterate
+/// into its reused buffer and calls [`check`](Self::check). Returning
+/// `true` raises the stop flag.
+pub trait ConvergenceMonitor {
+    /// Global iterations between checks; `0` disables checking entirely
+    /// (the run then always consumes its full round budget).
+    fn period(&self) -> usize {
+        0
+    }
+
+    /// One concurrent check: `global_iteration` is the watermark at which
+    /// the check fired, `x` the snapshot taken for it (possibly mixing
+    /// epochs — an asynchronous observer's view). Return `true` to stop
+    /// the workers.
+    fn check(&mut self, global_iteration: usize, x: &[f64]) -> bool;
+}
+
+/// The trivial monitor: never checks, never stops.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMonitor;
+
+impl ConvergenceMonitor for NoMonitor {
+    fn check(&mut self, _global_iteration: usize, _x: &[f64]) -> bool {
+        false
+    }
+}
+
+/// Reusable storage for [`PersistentExecutor::run`]: the shared atomic
+/// iterate, the monitor's snapshot buffer, the per-shard ticket lists and
+/// counters, and the per-block bookkeeping. Reusing one workspace across
+/// solves of the same system performs **zero** heap allocation after the
+/// first run's capacities stabilise (asserted by
+/// `tests/persistent_executor.rs`).
+#[derive(Debug, Default)]
+pub struct PersistentWorkspace {
+    x: AtomicF64Vec,
+    snapshot: Vec<f64>,
+    /// One materialised schedule cycle per shard: `cycle * shard_len[s]`
+    /// block ids, in dispatch order.
+    shard_tickets: Vec<Vec<u32>>,
+    /// The sharded round counters: ticket `t` of shard `s` is round
+    /// `t / shard_len[s]`, block `shard_tickets[s][t % cycle_len]`.
+    shard_next: Vec<AtomicUsize>,
+    shard_len: Vec<usize>,
+    shard_total: Vec<usize>,
+    counts: Vec<AtomicUsize>,
+    in_flight: Vec<AtomicBool>,
+    order_buf: Vec<usize>,
+    block_shard: Vec<u32>,
+    cycle_rounds: usize,
+}
+
+impl PersistentWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fingerprint of the monitor's snapshot buffer (pointer, capacity) —
+    /// the observable the zero-copy acceptance test watches across
+    /// repeated solves.
+    pub fn snapshot_fingerprint(&self) -> (usize, usize) {
+        (self.snapshot.as_ptr() as usize, self.snapshot.capacity())
+    }
+
+    /// Total ticket capacity currently materialised (across shards).
+    pub fn materialised_tickets(&self) -> usize {
+        self.shard_tickets.iter().map(|t| t.len()).sum()
+    }
+
+    /// (Re)builds every buffer for a run. Reuses capacity wherever the
+    /// shapes match the previous run.
+    fn prepare(
+        &mut self,
+        kernel: &dyn BlockKernel,
+        x0: &[f64],
+        rounds: usize,
+        schedule: &mut dyn BlockSchedule,
+        n_shards: usize,
+        cycle_cap: usize,
+    ) {
+        let nb = kernel.n_blocks();
+        self.x.reset_from(x0);
+        self.snapshot.resize(x0.len(), 0.0);
+
+        // Contiguous shard split: shard s owns q blocks, the first r
+        // shards one extra.
+        let q = nb / n_shards;
+        let r = nb % n_shards;
+        self.shard_len.clear();
+        self.shard_len.extend((0..n_shards).map(|s| q + usize::from(s < r)));
+        self.block_shard.clear();
+        for (s, &len) in self.shard_len.iter().enumerate() {
+            self.block_shard.extend(std::iter::repeat(s as u32).take(len));
+        }
+        self.shard_total.clear();
+        self.shard_total.extend(self.shard_len.iter().map(|&len| len * rounds));
+
+        self.cycle_rounds = rounds.min(cycle_cap).max(1);
+        if self.shard_tickets.len() != n_shards {
+            self.shard_tickets.resize_with(n_shards, Vec::new);
+        }
+        for t in &mut self.shard_tickets {
+            t.clear();
+        }
+        for round in 0..self.cycle_rounds {
+            schedule.order(round, nb, &mut self.order_buf);
+            debug_assert_eq!(self.order_buf.len(), nb);
+            for &b in &self.order_buf {
+                self.shard_tickets[self.block_shard[b] as usize].push(b as u32);
+            }
+        }
+
+        if self.shard_next.len() != n_shards {
+            self.shard_next.resize_with(n_shards, || AtomicUsize::new(0));
+        }
+        for c in &mut self.shard_next {
+            *c.get_mut() = 0;
+        }
+        if self.counts.len() != nb {
+            self.counts.resize_with(nb, || AtomicUsize::new(0));
+        }
+        for c in &mut self.counts {
+            *c.get_mut() = 0;
+        }
+        if self.in_flight.len() != nb {
+            self.in_flight.resize_with(nb, || AtomicBool::new(false));
+        }
+        for f in &mut self.in_flight {
+            *f.get_mut() = false;
+        }
+    }
+}
+
+/// What a persistent run did, beyond the [`UpdateTrace`].
+#[derive(Debug, Clone, Default)]
+pub struct PersistentReport {
+    /// The global-iteration watermark when the run ended (minimum
+    /// completed rounds over all blocks).
+    pub global_iterations: usize,
+    /// The watermark at which the monitor raised the stop flag, if it
+    /// did — this is what a solver should report as its iteration count.
+    pub stopped_at: Option<usize>,
+    /// Monitor checks performed.
+    pub checks: usize,
+    /// Updates a worker executed from a shard other than its home shard.
+    pub stolen_updates: usize,
+    /// OS threads spawned — always exactly the worker count, once.
+    pub workers_spawned: usize,
+}
+
+/// The persistent-worker executor.
+#[derive(Debug, Clone, Default)]
+pub struct PersistentExecutor {
+    /// Execution options.
+    pub opts: PersistentOptions,
+}
+
+impl PersistentExecutor {
+    /// Creates an executor with the given options.
+    pub fn new(opts: PersistentOptions) -> Self {
+        PersistentExecutor { opts }
+    }
+
+    /// Runs up to `rounds` asynchronous global rounds of the kernel over
+    /// `x` (in place: read as the initial iterate, overwritten with the
+    /// final one), dispatching per `schedule`, committing per `filter`,
+    /// with `monitor` checked concurrently on the calling thread. Stops
+    /// early when the monitor fires. The workspace is reused storage —
+    /// pass the same one across runs to avoid reallocation.
+    pub fn run(
+        &self,
+        kernel: &dyn BlockKernel,
+        x: &mut [f64],
+        rounds: usize,
+        schedule: &mut dyn BlockSchedule,
+        filter: &dyn UpdateFilter,
+        monitor: &mut dyn ConvergenceMonitor,
+        ws: &mut PersistentWorkspace,
+    ) -> (UpdateTrace, PersistentReport) {
+        let nb = kernel.n_blocks();
+        assert_eq!(x.len(), kernel.n(), "iterate length must match kernel");
+        let mut trace = UpdateTrace::new(nb);
+        let mut report = PersistentReport::default();
+        if nb == 0 || rounds == 0 {
+            return (trace, report);
+        }
+
+        let n_workers = self.opts.n_workers.max(1);
+        let n_shards = n_workers.min(nb);
+        ws.prepare(kernel, x, rounds, schedule, n_shards, self.opts.schedule_cycle);
+        report.workers_spawned = n_workers;
+
+        // Disjoint borrows of the workspace: workers share the immutable
+        // parts, the monitor alone touches the snapshot buffer.
+        let PersistentWorkspace {
+            x: ref xa,
+            snapshot: ref mut snap,
+            shard_tickets: ref tickets,
+            shard_next: ref next,
+            ref shard_len,
+            ref shard_total,
+            ref counts,
+            ref in_flight,
+            cycle_rounds,
+            ..
+        } = *ws;
+        let cycle_rounds = cycle_rounds;
+
+        let stop = AtomicBool::new(false);
+        let active = AtomicUsize::new(n_workers);
+        let skipped = AtomicUsize::new(0);
+        let stolen = AtomicUsize::new(0);
+        let lag = self.opts.max_round_lag;
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            for w in 0..n_workers {
+                let stop = &stop;
+                let active = &active;
+                let skipped = &skipped;
+                let stolen = &stolen;
+                scope.spawn(move || {
+                    let home = w % n_shards;
+                    // Per-worker buffers: allocated at spawn (= solve
+                    // start), allocation-free once capacities settle.
+                    let mut out: Vec<f64> = Vec::new();
+                    let mut scratch = BlockScratch::new();
+                    'work: while !stop.load(Ordering::Relaxed) {
+                        // The laggiest round among unfinished shards. A
+                        // worker may only draw from shards within
+                        // `max_round_lag` of it — beyond that it steals
+                        // from the laggards instead, which both bounds
+                        // the realised staleness and actively rebalances
+                        // the load.
+                        let mut min_round = usize::MAX;
+                        for s in 0..n_shards {
+                            let seen = next[s].load(Ordering::Relaxed);
+                            if seen < shard_total[s] {
+                                min_round = min_round.min(seen / shard_len[s]);
+                            }
+                        }
+                        if min_round == usize::MAX {
+                            break 'work; // every shard exhausted
+                        }
+                        // Draw a ticket: home shard first, then steal in
+                        // ring order from the eligible others.
+                        let mut drawn = None;
+                        for probe in 0..n_shards {
+                            let s = (home + probe) % n_shards;
+                            let seen = next[s].load(Ordering::Relaxed);
+                            if seen >= shard_total[s]
+                                || seen / shard_len[s] > min_round + lag
+                            {
+                                continue;
+                            }
+                            let t = next[s].fetch_add(1, Ordering::Relaxed);
+                            if t < shard_total[s] {
+                                drawn = Some((s, t, probe != 0));
+                                break;
+                            }
+                        }
+                        let Some((s, t, was_stolen)) = drawn else {
+                            // Raced out of every eligible shard; let the
+                            // current holders make progress and retry.
+                            std::thread::yield_now();
+                            continue 'work;
+                        };
+                        let m = shard_len[s];
+                        let round = t / m;
+                        let block = tickets[s][t % (cycle_rounds * m)] as usize;
+                        if was_stolen {
+                            stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if filter.block_enabled(block, round) {
+                            acquire_block_flag(&in_flight[block]);
+                            let (bs, be) = kernel.block_range(block);
+                            out.clear();
+                            out.resize(be - bs, 0.0);
+                            kernel.update_block_with(
+                                block,
+                                &XView::Atomic(xa),
+                                &mut out,
+                                &mut scratch,
+                            );
+                            for (k, &v) in out.iter().enumerate() {
+                                if filter.component_enabled(bs + k, round) {
+                                    xa.set(bs + k, v);
+                                }
+                            }
+                            counts[block].fetch_add(1, Ordering::Relaxed);
+                            in_flight[block].store(false, Ordering::Release);
+                        } else {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    active.fetch_sub(1, Ordering::Release);
+                });
+            }
+
+            // --- The concurrent monitor, on the calling thread. ---
+            // This is the paper's host: it reads the racy iterate on the
+            // side while the workers stream updates, and raises the stop
+            // flag the moment its check is satisfied.
+            let period = monitor.period();
+            let mut next_check = period.max(1);
+            let base_pause = self.opts.monitor_pause.max(Duration::from_micros(1));
+            let max_pause = base_pause * 64;
+            // Rate-paced polling: track how fast the watermark advances
+            // and sleep roughly until the next check is due. Blind
+            // exponential backoff alone would let fast, tiny rounds run
+            // hundreds of iterations past the stop point before the
+            // monitor wakes; pure fixed-rate polling would preempt the
+            // workers thousands of times per solve on a saturated host.
+            let mut last_wm = 0usize;
+            let mut last_t = Instant::now();
+            let mut per_round = base_pause;
+            let mut idle_pause = base_pause;
+            loop {
+                if active.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                if period > 0 && !stop.load(Ordering::Relaxed) {
+                    // Watermark = dispatched rounds, not committed
+                    // updates: O(n_shards) per poll, and it keeps
+                    // advancing past blocks an [`UpdateFilter`] has
+                    // frozen (fault injection), so convergence checks
+                    // never stall behind a dead block.
+                    let watermark = (0..n_shards)
+                        .map(|s| {
+                            next[s].load(Ordering::Relaxed).min(shard_total[s]) / shard_len[s]
+                        })
+                        .min()
+                        .unwrap_or(0);
+                    if watermark > last_wm {
+                        let step = last_t.elapsed() / (watermark - last_wm) as u32;
+                        // Smooth towards the observed per-round time so a
+                        // single slow poll doesn't swing the pacing.
+                        per_round = (per_round + step) / 2;
+                        last_wm = watermark;
+                        last_t = Instant::now();
+                        idle_pause = base_pause;
+                    }
+                    if watermark >= next_check {
+                        for (i, sl) in snap.iter_mut().enumerate() {
+                            *sl = xa.get(i);
+                        }
+                        report.checks += 1;
+                        if monitor.check(watermark, snap) {
+                            report.stopped_at = Some(watermark);
+                            stop.store(true, Ordering::Relaxed);
+                        } else {
+                            next_check = watermark + period;
+                        }
+                        continue;
+                    }
+                    // Wake around halfway to the expected due time so the
+                    // check lands within ~period/2 of the true crossing.
+                    let remaining = (next_check - watermark) as u32;
+                    let pause = (per_round * remaining / 2).clamp(base_pause, max_pause);
+                    std::thread::sleep(pause);
+                } else {
+                    // Nothing to check (fixed budget or stop already
+                    // raised): back off until the workers drain.
+                    std::thread::sleep(idle_pause);
+                    idle_pause = (idle_pause * 2).min(max_pause);
+                }
+            }
+        });
+
+        trace.elapsed = started.elapsed().as_secs_f64();
+        trace.updates_per_block = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        trace.skipped_updates = skipped.load(Ordering::Relaxed);
+        report.global_iterations =
+            trace.updates_per_block.iter().copied().min().unwrap_or(0);
+        report.stolen_updates = stolen.load(Ordering::Relaxed);
+        xa.copy_into(x);
+        (trace, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::ConsensusKernel;
+    use crate::kernel::AllowAll;
+    use crate::schedule::{RandomPermutation, RoundRobin};
+
+    fn run_consensus(
+        n_workers: usize,
+        rounds: usize,
+        monitor: &mut dyn ConvergenceMonitor,
+    ) -> (Vec<f64>, UpdateTrace, PersistentReport) {
+        let kernel = ConsensusKernel { n: 48, block_size: 5 };
+        let mut x: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers,
+            ..PersistentOptions::default()
+        });
+        let mut ws = PersistentWorkspace::new();
+        let mut sched = RandomPermutation::new(11);
+        let (trace, report) =
+            exec.run(&kernel, &mut x, rounds, &mut sched, &AllowAll, monitor, &mut ws);
+        (x, trace, report)
+    }
+
+    #[test]
+    fn consensus_converges_with_persistent_workers() {
+        let (x, trace, report) = run_consensus(3, 80, &mut NoMonitor);
+        let mean = x.iter().sum::<f64>() / 48.0;
+        for &v in &x {
+            assert!((v - mean).abs() < 1e-5, "not converged: {v} vs {mean}");
+        }
+        assert_eq!(trace.total_updates(), 80 * 10);
+        assert_eq!(report.global_iterations, 80);
+        assert_eq!(report.workers_spawned, 3);
+        assert_eq!(report.stopped_at, None);
+    }
+
+    #[test]
+    fn monitor_stop_flag_halts_workers_early() {
+        struct StopAt(usize);
+        impl ConvergenceMonitor for StopAt {
+            fn period(&self) -> usize {
+                1
+            }
+            fn check(&mut self, gi: usize, _x: &[f64]) -> bool {
+                gi >= self.0
+            }
+        }
+        let mut monitor = StopAt(5);
+        let (_, trace, report) = run_consensus(2, 10_000, &mut monitor);
+        let at = report.stopped_at.expect("monitor must fire");
+        assert!(at >= 5, "stopped at watermark {at}");
+        assert!(
+            trace.total_updates() < 10_000 * 10,
+            "stop flag must halt the run early: {} updates",
+            trace.total_updates()
+        );
+        assert!(report.checks >= 1);
+    }
+
+    #[test]
+    fn filter_respected_with_absolute_rounds() {
+        // Blocks frozen from round 3 onward: each block commits exactly 3
+        // updates, and the skip counter absorbs the rest.
+        struct FreezeFrom(usize);
+        impl UpdateFilter for FreezeFrom {
+            fn block_enabled(&self, _b: usize, round: usize) -> bool {
+                round < self.0
+            }
+        }
+        let kernel = ConsensusKernel { n: 20, block_size: 4 };
+        let mut x = vec![1.0; 20];
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 2,
+            ..PersistentOptions::default()
+        });
+        let mut ws = PersistentWorkspace::new();
+        let (trace, _) = exec.run(
+            &kernel,
+            &mut x,
+            8,
+            &mut RoundRobin,
+            &FreezeFrom(3),
+            &mut NoMonitor,
+            &mut ws,
+        );
+        assert_eq!(trace.updates_per_block, vec![3; 5]);
+        assert_eq!(trace.skipped_updates, 5 * 5);
+    }
+
+    #[test]
+    fn budget_beyond_schedule_cycle_still_counts_rounds_exactly() {
+        let kernel = ConsensusKernel { n: 12, block_size: 3 };
+        let mut x = vec![2.0; 12];
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 2,
+            schedule_cycle: 4, // force cycling well below the budget
+            ..PersistentOptions::default()
+        });
+        let mut ws = PersistentWorkspace::new();
+        let (trace, report) = exec.run(
+            &kernel,
+            &mut x,
+            50,
+            &mut RandomPermutation::new(3),
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+        );
+        assert_eq!(trace.updates_per_block, vec![50; 4]);
+        assert_eq!(report.global_iterations, 50);
+    }
+
+    #[test]
+    fn workspace_reuse_keeps_buffers_stable() {
+        let kernel = ConsensusKernel { n: 30, block_size: 5 };
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 2,
+            ..PersistentOptions::default()
+        });
+        let mut ws = PersistentWorkspace::new();
+        let mut run = |ws: &mut PersistentWorkspace| {
+            let mut x = vec![1.0; 30];
+            exec.run(
+                &kernel,
+                &mut x,
+                20,
+                &mut RoundRobin,
+                &AllowAll,
+                &mut NoMonitor,
+                ws,
+            );
+        };
+        run(&mut ws);
+        let fp = ws.snapshot_fingerprint();
+        let tickets = ws.materialised_tickets();
+        for _ in 0..3 {
+            run(&mut ws);
+            assert_eq!(ws.snapshot_fingerprint(), fp, "snapshot buffer must be reused");
+            assert_eq!(ws.materialised_tickets(), tickets);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_blocks_degrades_gracefully() {
+        let kernel = ConsensusKernel { n: 8, block_size: 4 }; // 2 blocks
+        let mut x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 6,
+            ..PersistentOptions::default()
+        });
+        let mut ws = PersistentWorkspace::new();
+        let (trace, _) = exec.run(
+            &kernel,
+            &mut x,
+            40,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+        );
+        assert_eq!(trace.total_updates(), 40 * 2);
+        let mean = x.iter().sum::<f64>() / 8.0;
+        for &v in &x {
+            assert!((v - mean).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_noop() {
+        let kernel = ConsensusKernel { n: 4, block_size: 2 };
+        let mut x = vec![9.0; 4];
+        let exec = PersistentExecutor::default();
+        let mut ws = PersistentWorkspace::new();
+        let (trace, report) = exec.run(
+            &kernel,
+            &mut x,
+            0,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+        );
+        assert_eq!(x, vec![9.0; 4]);
+        assert_eq!(trace.total_updates(), 0);
+        assert_eq!(report.workers_spawned, 0);
+    }
+}

@@ -162,6 +162,15 @@ impl SimExecutor {
         // its capacity stabilises after the largest block's first update.
         let mut scratch = BlockScratch::new();
         let mut completed_global = 0usize;
+        // Count-of-counts histogram over per-block update counts:
+        // `hist[c]` blocks have completed exactly `c` updates. One Finish
+        // event moves one block from bucket `c` to `c + 1`, so the
+        // minimum (the global-iteration watermark) and maximum (for
+        // `max_skew`) both maintain in O(1) — the minimum can only ever
+        // advance when its bucket empties, and then only by one.
+        let mut hist: Vec<usize> = vec![nb];
+        let mut min_count = 0usize;
+        let mut max_count = 0usize;
 
         for ev in &events {
             match ev.kind {
@@ -194,19 +203,19 @@ impl SimExecutor {
                         }
                     }
                     buf_pool.push(out);
-                    trace.updates_per_block[ev.block] += 1;
-                    let min = *trace
-                        .updates_per_block
-                        .iter()
-                        .min()
-                        .expect("nb > 0");
-                    let max = *trace
-                        .updates_per_block
-                        .iter()
-                        .max()
-                        .expect("nb > 0");
-                    trace.max_skew = trace.max_skew.max(max - min);
-                    while completed_global < min {
+                    let old = trace.updates_per_block[ev.block];
+                    trace.updates_per_block[ev.block] = old + 1;
+                    hist[old] -= 1;
+                    if hist.len() == old + 1 {
+                        hist.push(0);
+                    }
+                    hist[old + 1] += 1;
+                    max_count = max_count.max(old + 1);
+                    if old == min_count && hist[old] == 0 {
+                        min_count += 1;
+                    }
+                    trace.max_skew = trace.max_skew.max(max_count - min_count);
+                    while completed_global < min_count {
                         completed_global += 1;
                         on_global_iteration(completed_global, x);
                     }

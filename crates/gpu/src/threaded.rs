@@ -15,8 +15,36 @@ use crate::schedule::{flatten_schedule, BlockSchedule};
 use crate::trace::UpdateTrace;
 use crate::xview::{AtomicF64Vec, XView};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// How many failed acquisition attempts to spin before falling back to
+/// yielding the OS scheduler. Spinning briefly wins when the holder is
+/// mid-update on another core; yielding wins when the holder has been
+/// descheduled (on a single-core host, spinning alone would burn the
+/// whole timeslice the holder needs to finish).
+const SPIN_LIMIT: u32 = 64;
+
+/// Acquires a per-block in-flight flag with bounded spinning: up to
+/// [`SPIN_LIMIT`] `spin_loop` hints, then `yield_now` between attempts.
+/// Shared by the chunked [`ThreadedExecutor`] and the persistent
+/// executor ([`crate::persistent`]) — both serialise the updates of one
+/// block through exactly this protocol.
+#[inline]
+pub(crate) fn acquire_block_flag(flag: &AtomicBool) {
+    let mut attempts = 0u32;
+    while flag
+        .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        if attempts < SPIN_LIMIT {
+            attempts += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
 
 /// Options for [`ThreadedExecutor`].
 #[derive(Debug, Clone)]
@@ -78,8 +106,7 @@ impl ThreadedExecutor {
         // one stream). Note this is mutual exclusion, not strict ticket
         // order: a later ticket can occasionally commit first, which is
         // just one more admissible chaotic ordering.
-        let in_flight: Vec<std::sync::atomic::AtomicBool> =
-            (0..nb).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+        let in_flight: Vec<AtomicBool> = (0..nb).map(|_| AtomicBool::new(false)).collect();
         let skipped = AtomicUsize::new(0);
         let snapshots: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
         let started = Instant::now();
@@ -100,17 +127,7 @@ impl ThreadedExecutor {
                         let block = tickets[t] as usize;
                         let round = t / nb;
                         if filter.block_enabled(block, round) {
-                            while in_flight[block]
-                                .compare_exchange_weak(
-                                    false,
-                                    true,
-                                    Ordering::Acquire,
-                                    Ordering::Relaxed,
-                                )
-                                .is_err()
-                            {
-                                std::hint::spin_loop();
-                            }
+                            acquire_block_flag(&in_flight[block]);
                             let (s, e) = kernel.block_range(block);
                             out.clear();
                             out.resize(e - s, 0.0);

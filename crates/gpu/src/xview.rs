@@ -26,6 +26,37 @@ impl AtomicF64Vec {
         }
     }
 
+    /// An empty vector; fill it with [`reset_from`](Self::reset_from).
+    pub fn new() -> Self {
+        AtomicF64Vec { data: Vec::new() }
+    }
+
+    /// Reloads the vector with `values`, reusing the existing storage
+    /// when the length matches (exclusive access — no atomic traffic).
+    /// This is what lets a persistent-executor workspace be reused across
+    /// solves without reallocating the shared iterate.
+    pub fn reset_from(&mut self, values: &[f64]) {
+        if self.data.len() == values.len() {
+            for (a, &v) in self.data.iter_mut().zip(values) {
+                *a.get_mut() = v.to_bits();
+            }
+        } else {
+            self.data.clear();
+            self.data.extend(values.iter().map(|&v| AtomicU64::new(v.to_bits())));
+        }
+    }
+
+    /// Copies the current state into `out` without allocating (each
+    /// component read atomically; the whole may mix epochs exactly as
+    /// [`snapshot`](Self::snapshot) does). `out` must have the same
+    /// length.
+    pub fn copy_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len(), "copy_into: length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.get(i);
+        }
+    }
+
     /// Vector length.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -53,6 +84,12 @@ impl AtomicF64Vec {
     /// what an asynchronous observer sees).
     pub fn snapshot(&self) -> Vec<f64> {
         (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+impl Default for AtomicF64Vec {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -114,6 +151,21 @@ mod tests {
         }
         assert_eq!(vp.len(), 2);
         assert!(!va.is_empty());
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_copy_into_round_trips() {
+        let mut v = AtomicF64Vec::from_slice(&[1.0, 2.0, 3.0]);
+        let before = v.data.as_ptr();
+        v.reset_from(&[4.0, 5.0, 6.0]);
+        assert_eq!(v.data.as_ptr(), before, "same-length reset must reuse storage");
+        let mut out = [0.0; 3];
+        v.copy_into(&mut out);
+        assert_eq!(out, [4.0, 5.0, 6.0]);
+        // different length rebuilds
+        v.reset_from(&[9.0]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(0), 9.0);
     }
 
     #[test]

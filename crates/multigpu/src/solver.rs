@@ -71,7 +71,11 @@ impl MultiGpuSolver {
                 }),
                 ..self.base.clone()
             },
-            ExecutorKind::Threaded(_) => self.base.clone(),
+            // Both threaded fabrics already size their worker pools from
+            // the host; device count only affects the pricing below. The
+            // persistent executor's shards then play the per-device block
+            // ranges (contiguous, exactly the device slices).
+            ExecutorKind::Threaded(_) | ExecutorKind::ThreadedChunked(_) => self.base.clone(),
         };
         // Compile the block plan once; the same kernel drives the solve
         // and feeds its nnz_local to the timing model.
@@ -129,6 +133,22 @@ mod tests {
         // different prices
         assert_ne!(times[0], times[1]);
         assert!(times[2] > times[1], "DK pricier than DC: {times:?}");
+    }
+
+    #[test]
+    fn threaded_executor_solves_to_tolerance_and_is_priced() {
+        // The multi-device driver through the persistent-worker fabric:
+        // same partitioning and pricing, real threads underneath with the
+        // concurrent monitor stopping them.
+        let (a, rhs) = system();
+        let mut s = MultiGpuSolver::supermicro(2, CommStrategy::Amc);
+        s.thread_block_size = 64;
+        s.base.executor = ExecutorKind::Threaded(abr_gpu::ThreadedOptions::default());
+        let opts = SolveOptions::to_tolerance(1e-8, 20_000);
+        let r = s.solve(&a, &rhs, &vec![0.0; 400], &opts).unwrap();
+        assert!(r.solve.converged, "residual {}", r.solve.final_residual);
+        assert!(r.solve.iterations < 20_000, "monitor must stop early");
+        assert!(r.seconds_total > 0.0 && r.seconds_per_iteration > 0.0);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! file, appended there as JSON lines for machine consumption.
 //!
 //! Environment knobs: `CRITERION_SAMPLE_MS` (per-sample budget in
-//! milliseconds, default 20), `CRITERION_JSON` (JSON-lines output path).
+//! milliseconds, default 20), `CRITERION_SAMPLES` (overrides every
+//! benchmark's sample count — the smoke-test hook that drives each bench
+//! for a single sample), `CRITERION_JSON` (JSON-lines output path).
 
 pub use std::hint::black_box;
 use std::fmt::Display;
@@ -135,9 +137,17 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    // CRITERION_SAMPLES overrides every bench's own sample count and may
+    // go below the usual floor of 3 — the bench smoke test runs each
+    // harness for one sample under `cargo test`.
+    let samples = std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|v| v.max(1))
+        .unwrap_or_else(|| samples.max(3));
     let mut bencher = Bencher {
         sample_budget: sample_budget(),
-        samples: samples.max(3),
+        samples,
         result_ns: f64::NAN,
         total_iters: 0,
     };

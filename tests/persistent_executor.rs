@@ -1,0 +1,199 @@
+//! Acceptance tests for the persistent-worker executor: the threaded
+//! solver path must reach the same tolerance as the discrete-event
+//! simulator on the paper's model problems; the asynchronous convergence
+//! monitor must halt the workers strictly before the round budget when
+//! the tolerance is loose; and a solve must spawn each worker exactly
+//! once and perform no full-vector copies after start beyond the
+//! monitor's reused snapshot buffer (watched through the workspace
+//! fingerprint, in the style of `tests/block_plan_equivalence.rs`).
+
+use block_async_relax::core::async_block::AsyncJacobiKernel;
+use block_async_relax::core::{AsyncBlockSolver, ExecutorKind, ResidualMonitor, SolveOptions};
+use block_async_relax::gpu::kernel::AllowAll;
+use block_async_relax::gpu::schedule::RoundRobin;
+use block_async_relax::gpu::{
+    BlockKernel, NoMonitor, PersistentExecutor, PersistentOptions, PersistentWorkspace,
+    SimOptions, ThreadedOptions, XView,
+};
+use block_async_relax::sparse::gen::{laplacian_2d_5pt, trefethen};
+use block_async_relax::sparse::{CsrMatrix, RowPartition};
+
+/// Independent residual check: `||b - Ax||_2 / ||b||_2` computed directly,
+/// so the assertion does not trust the solver's own bookkeeping.
+fn rel_residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    let ax = a.mul_vec(x).expect("square");
+    let num: f64 = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum();
+    let den: f64 = b.iter().map(|bi| bi * bi).sum();
+    (num / den).sqrt()
+}
+
+fn solve_both_ways(
+    a: &CsrMatrix,
+    block: usize,
+    tol: f64,
+) -> (block_async_relax::core::SolveResult, block_async_relax::core::SolveResult, Vec<f64>) {
+    let n = a.n_rows();
+    let b = a.mul_vec(&vec![1.0; n]).expect("square");
+    let x0 = vec![0.0; n];
+    let p = RowPartition::uniform(n, block).expect("partition");
+    let opts = SolveOptions {
+        max_iters: 20_000,
+        tol,
+        record_history: false,
+        check_every: 10,
+    };
+    let sim = AsyncBlockSolver {
+        executor: ExecutorKind::Sim(SimOptions::default()),
+        ..AsyncBlockSolver::async_k(5)
+    };
+    let thr = AsyncBlockSolver {
+        executor: ExecutorKind::Threaded(ThreadedOptions { n_workers: 4, snapshot_rounds: false }),
+        ..AsyncBlockSolver::async_k(5)
+    };
+    let rs = sim.solve(a, &b, &x0, &p, &opts).expect("sim solve");
+    let rt = thr.solve(a, &b, &x0, &p, &opts).expect("threaded solve");
+    (rs, rt, b)
+}
+
+/// The persistent threaded path reaches the same tolerance as the
+/// discrete-event oracle on the 100x100 2D Laplacian.
+#[test]
+fn threaded_matches_sim_tolerance_on_laplacian_100() {
+    let a = laplacian_2d_5pt(10); // the 100x100 five-point matrix
+    let tol = 1e-8;
+    let (rs, rt, b) = solve_both_ways(&a, 10, tol);
+    assert!(rs.converged, "sim did not converge");
+    assert!(rt.converged, "threaded did not converge");
+    assert!(rs.iterations > 0 && rs.iterations < 20_000);
+    assert!(rt.iterations > 0 && rt.iterations < 20_000);
+    // Both iterates independently satisfy the same tolerance.
+    assert!(rel_residual(&a, &b, &rs.x) <= tol, "sim residual above tol");
+    assert!(rel_residual(&a, &b, &rt.x) <= tol, "threaded residual above tol");
+}
+
+/// Same equivalence on the strongly diagonally dominant `trefethen(400)`
+/// matrix, where convergence takes only tens of global iterations — the
+/// regime where a sluggish monitor would blow straight past the stop.
+#[test]
+fn threaded_matches_sim_tolerance_on_trefethen_400() {
+    let a = trefethen(400).expect("trefethen");
+    let tol = 1e-10;
+    let (rs, rt, b) = solve_both_ways(&a, 25, tol);
+    assert!(rs.converged, "sim did not converge");
+    assert!(rt.converged, "threaded did not converge");
+    assert!(rel_residual(&a, &b, &rs.x) <= tol, "sim residual above tol");
+    assert!(rel_residual(&a, &b, &rt.x) <= tol, "threaded residual above tol");
+}
+
+/// With a loose tolerance and a huge round budget, the monitor's stop
+/// flag must halt the workers long before the budget: total committed
+/// updates stay strictly below `rounds * n_blocks`.
+#[test]
+fn stop_flag_halts_workers_before_the_round_budget() {
+    let a = laplacian_2d_5pt(8); // n = 64
+    let n = a.n_rows();
+    let rhs = a.mul_vec(&vec![1.0; n]).expect("square");
+    let p = RowPartition::uniform(n, 8).expect("partition");
+    let kernel = AsyncJacobiKernel::new(&a, &rhs, &p, 5, 1.0).expect("diag dominant");
+    let rounds = 5_000;
+    let exec = PersistentExecutor::new(PersistentOptions {
+        n_workers: 4,
+        ..PersistentOptions::default()
+    });
+    let mut monitor = ResidualMonitor::new(&a, &rhs, 1e-2, 10);
+    let mut ws = PersistentWorkspace::new();
+    let mut x = vec![0.0; n];
+    let (trace, report) =
+        exec.run(&kernel, &mut x, rounds, &mut RoundRobin, &AllowAll, &mut monitor, &mut ws);
+    assert!(report.stopped_at.is_some(), "monitor never fired");
+    assert!(report.checks >= 1);
+    let budget = rounds * kernel.n_blocks();
+    assert!(
+        trace.total_updates() < budget,
+        "stop flag did not halt early: {} updates of a {} budget",
+        trace.total_updates(),
+        budget
+    );
+    assert!(rel_residual(&a, &rhs, &x) <= 1e-2, "stopped before the tolerance was met");
+}
+
+/// A kernel that records which OS thread ran each block update, to prove
+/// the executor spawns each worker exactly once (no per-chunk respawn).
+struct ThreadProbe {
+    n: usize,
+    block_size: usize,
+    seen_threads: parking_lot::Mutex<std::collections::HashSet<std::thread::ThreadId>>,
+}
+
+impl BlockKernel for ThreadProbe {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn n_blocks(&self) -> usize {
+        self.n.div_ceil(self.block_size)
+    }
+    fn block_range(&self, b: usize) -> (usize, usize) {
+        let s = b * self.block_size;
+        (s, (s + self.block_size).min(self.n))
+    }
+    fn update_block(&self, b: usize, x: &XView<'_>, out: &mut [f64]) {
+        self.seen_threads.lock().insert(std::thread::current().id());
+        let (s, e) = self.block_range(b);
+        for (o, i) in out.iter_mut().zip(s..e) {
+            *o = 0.5 * x.get(i);
+        }
+    }
+}
+
+/// The spawn-count and zero-copy acceptance test: across repeated solves
+/// on one workspace, every update runs on one of `n_workers` threads
+/// spawned once per run (never the calling thread, never a respawn), and
+/// the monitor's snapshot buffer keeps the same pointer and capacity —
+/// the only full-vector staging the run is allowed.
+#[test]
+fn workers_spawn_once_and_the_snapshot_buffer_is_reused() {
+    let probe = ThreadProbe {
+        n: 96,
+        block_size: 8,
+        seen_threads: parking_lot::Mutex::new(std::collections::HashSet::new()),
+    };
+    let workers = 3;
+    let exec = PersistentExecutor::new(PersistentOptions {
+        n_workers: workers,
+        ..PersistentOptions::default()
+    });
+    let mut ws = PersistentWorkspace::new();
+    let mut x = vec![1.0; 96];
+    let (trace, report) =
+        exec.run(&probe, &mut x, 30, &mut RoundRobin, &AllowAll, &mut NoMonitor, &mut ws);
+    assert_eq!(trace.total_updates(), 30 * probe.n_blocks());
+    assert_eq!(report.workers_spawned, workers, "spawn count must equal the worker count");
+    {
+        let seen = probe.seen_threads.lock();
+        assert!(
+            seen.len() <= workers,
+            "updates ran on {} distinct threads with only {} workers",
+            seen.len(),
+            workers
+        );
+        assert!(
+            !seen.contains(&std::thread::current().id()),
+            "the monitor thread must never execute block updates"
+        );
+    }
+
+    // Zero copies / zero spawns in steady state: repeated runs on the
+    // same workspace keep the snapshot buffer's pointer and capacity and
+    // never re-materialise the ticket lists.
+    let fp = ws.snapshot_fingerprint();
+    let tickets = ws.materialised_tickets();
+    for _ in 0..3 {
+        probe.seen_threads.lock().clear();
+        let (_, report) =
+            exec.run(&probe, &mut x, 30, &mut RoundRobin, &AllowAll, &mut NoMonitor, &mut ws);
+        assert_eq!(report.workers_spawned, workers);
+        assert!(probe.seen_threads.lock().len() <= workers);
+        assert_eq!(ws.snapshot_fingerprint(), fp, "snapshot buffer was reallocated");
+        assert_eq!(ws.materialised_tickets(), tickets, "ticket lists were rebuilt");
+    }
+}
