@@ -22,9 +22,10 @@ use crate::convergence::{check_system, relative_residual_with, SolveOptions, Sol
 use abr_gpu::kernel::AllowAll;
 use abr_gpu::schedule::BlockSchedule;
 use abr_gpu::{
-    BlockKernel, BlockScratch, ConvergenceMonitor, PersistentExecutor, PersistentOptions,
-    PersistentWorkspace, RandomPermutation, RecurringPattern, RoundRobin, SimExecutor, SimOptions,
-    ThreadedExecutor, ThreadedOptions, UpdateFilter, XView,
+    BlockKernel, BlockScratch, ConvergenceMonitor, HaloExchange, PersistentExecutor,
+    PersistentOptions, PersistentWorkspace, RandomPermutation, RecurringPattern, RoundRobin,
+    ShardPlan, SimExecutor, SimOptions, ThreadedExecutor, ThreadedOptions, UpdateFilter,
+    UpdateTrace, XView,
 };
 use abr_sparse::block_plan::BlockEll;
 use abr_sparse::{BlockPlan, CsrMatrix, Result, RowPartition};
@@ -218,9 +219,11 @@ impl AsyncBlockSolver {
         // convergence monitored concurrently — no chunk barriers at all.
         // Only per-round history recording still needs the chunked driver
         // (the monitor observes the iterate at check periods, not rounds).
-        if let ExecutorKind::Threaded(t_opts) = &self.executor {
+        if let ExecutorKind::Threaded(_) = &self.executor {
             if !opts.record_history {
-                return self.solve_persistent(a, rhs, x0, kernel, opts, filter, t_opts, schedule.as_mut());
+                return self
+                    .solve_persistent_sharded(a, rhs, x0, kernel, opts, filter, None, None)
+                    .map(|(result, _trace)| result);
             }
         }
 
@@ -299,8 +302,18 @@ impl AsyncBlockSolver {
     /// racy iterate while the device keeps updating. Zero thread spawns,
     /// zero full-vector copies, and zero allocation after solve start,
     /// except the monitor's reused snapshot and residual buffers.
+    ///
+    /// With `shards`, the executor's ticket pools are the plan's block
+    /// ranges — a multi-GPU driver passes its device slices so the shard
+    /// topology is the device topology, not the worker count. With
+    /// `halo`, workers read off-shard components through the exchange's
+    /// staged views (AMC/DC semantics); pass `None` for live reads (the
+    /// single-device and DK semantics). Returns the solve result *and*
+    /// the executor's [`UpdateTrace`] — the realised staleness histogram
+    /// and skew watermark are exactly what the paper's Fig. 12–14
+    /// strategy comparison is about.
     #[allow(clippy::too_many_arguments)]
-    fn solve_persistent(
+    pub fn solve_persistent_sharded(
         &self,
         a: &CsrMatrix,
         rhs: &[f64],
@@ -308,26 +321,44 @@ impl AsyncBlockSolver {
         kernel: &AsyncJacobiKernel<'_>,
         opts: &SolveOptions,
         filter: &dyn UpdateFilter,
-        t_opts: &ThreadedOptions,
-        schedule: &mut dyn BlockSchedule,
-    ) -> Result<SolveResult> {
+        shards: Option<&ShardPlan>,
+        halo: Option<&HaloExchange>,
+    ) -> Result<(SolveResult, UpdateTrace)> {
+        check_system(a, rhs, x0);
+        let n_workers = match &self.executor {
+            ExecutorKind::Threaded(t) | ExecutorKind::ThreadedChunked(t) => t.n_workers,
+            ExecutorKind::Sim(_) => ThreadedOptions::default().n_workers,
+        };
         let exec = PersistentExecutor::new(PersistentOptions {
-            n_workers: t_opts.n_workers,
+            n_workers,
             ..PersistentOptions::default()
         });
+        let mut schedule = self.schedule.build();
         let period = if opts.tol > 0.0 { opts.check_every.max(1) } else { 0 };
         let mut monitor = ResidualMonitor::new(a, rhs, opts.tol, period);
         let mut ws = PersistentWorkspace::new();
         let mut x = x0.to_vec();
-        let (_trace, report) =
-            exec.run(kernel, &mut x, opts.max_iters, schedule, filter, &mut monitor, &mut ws);
+        let (trace, report) = exec.run_sharded(
+            kernel,
+            &mut x,
+            opts.max_iters,
+            schedule.as_mut(),
+            filter,
+            &mut monitor,
+            &mut ws,
+            shards,
+            halo,
+        );
         // The monitor's stop watermark is the meaningful iteration count;
         // an unstopped run consumed the full budget.
         let iterations = report.stopped_at.unwrap_or(opts.max_iters);
         let mut rbuf = monitor.into_scratch();
         let final_residual = relative_residual_with(&mut rbuf, a, rhs, &x);
         let converged = opts.tol > 0.0 && final_residual <= opts.tol;
-        Ok(SolveResult { x, iterations, converged, final_residual, history: Vec::new() })
+        Ok((
+            SolveResult { x, iterations, converged, final_residual, history: Vec::new() },
+            trace,
+        ))
     }
 }
 

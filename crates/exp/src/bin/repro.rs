@@ -6,15 +6,15 @@
 //!
 //! experiments:
 //!   table1 nondet (= table2 table3 fig5) fig6 fig7 table4 fig8 table5
-//!   fig9 fig10 (= table6) fig11 ablation all
+//!   fig9 fig10 (= table6) fig11 staleness ablation all
 //! ```
 //!
 //! Results print as markdown/text; with `--out DIR` each artifact is also
 //! written as CSV.
 
 use abr_exp::experiments::{
-    ablation, convergence_figs, fault_exp, fig11, fig9, nondet, resilience, table1, theory,
-    timing_tables, verify,
+    ablation, comm_staleness, convergence_figs, fault_exp, fig11, fig9, nondet, resilience,
+    table1, theory, timing_tables, verify,
 };
 use abr_exp::report::{Figure, Table};
 use abr_exp::matrices::full_suite;
@@ -30,7 +30,8 @@ struct Cli {
 
 const USAGE: &str = "usage: repro [--scale full|small] [--runs N] [--seed S] \
 [--out DIR] <experiment>...\nexperiments: table1 nondet fig6 fig7 table4 fig8 \
-table5 fig9 fig10 fig11 ablation resilience theory verify export-matrices all";
+table5 fig9 fig10 fig11 staleness ablation resilience theory verify \
+export-matrices all";
 
 fn parse_args() -> Result<Cli, String> {
     let mut opts = ExpOptions::default();
@@ -130,6 +131,9 @@ fn run_one(name: &str, opts: &ExpOptions, out: Option<&Path>) -> Result<(), Stri
             emit_table(&r.table, out, "table6");
         }
         "fig11" => emit_table(&fig11::run(opts).map_err(err)?, out, "fig11"),
+        "staleness" => {
+            emit_table(&comm_staleness::run(opts).map_err(err)?, out, "staleness")
+        }
         "resilience" => emit_table(&resilience::run(opts).map_err(err)?, out, "resilience"),
         "theory" => emit_table(&theory::run(opts).map_err(err)?, out, "theory"),
         "verify" => {
@@ -161,7 +165,7 @@ fn run_one(name: &str, opts: &ExpOptions, out: Option<&Path>) -> Result<(), Stri
         "all" => {
             for e in [
                 "table1", "nondet", "fig6", "fig7", "table4", "fig8", "table5", "fig9",
-                "fig10", "fig11", "ablation", "resilience", "theory",
+                "fig10", "fig11", "staleness", "ablation", "resilience", "theory",
             ] {
                 eprintln!("== running {e} ==");
                 run_one(e, opts, out)?;

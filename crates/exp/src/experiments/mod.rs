@@ -3,6 +3,7 @@
 //! them.
 
 pub mod ablation;
+pub mod comm_staleness;
 pub mod convergence_figs;
 pub mod fault_exp;
 pub mod fig11;

@@ -1,0 +1,301 @@
+//! Staged halo exchange: the §3.4 communication schemes *realised*, not
+//! just priced.
+//!
+//! The three multi-GPU schemes differ in how stale the off-device
+//! components a kernel reads are:
+//!
+//! * **AMC** (asynchronous multicopy) — every device pushes its slice to
+//!   host memory and pulls the others' slices from there. Remote data
+//!   therefore crosses *two* hops (device → host, host → device), each on
+//!   the exchange cadence: what a device reads lags the live iterate by
+//!   one to two exchange epochs.
+//! * **DC** (direct copy) — a bulk GPU-direct copy staged through the
+//!   master GPU once per exchange epoch: one hop, zero to one epochs
+//!   stale.
+//! * **DK** (direct kernel access) — the kernel loads remote memory
+//!   directly. No stage at all: reads are live, and
+//!   [`HaloExchange::for_strategy`] accordingly returns `None` (the
+//!   executor then reads the shared [`AtomicF64Vec`] as usual). The price
+//!   of that freshness is the `dk_remote_load_factor` in the timing
+//!   model.
+//!
+//! The exchange cadence (`epoch_rounds`) comes from the timing model:
+//! [`crate::TimingModel::halo_epoch_rounds`] divides the strategy's
+//! transfer time by the per-round compute time, so a scheme that pays
+//! more per exchange also refreshes less often per round of compute — a
+//! continuous pipelined-exchange model of the paper's implementation.
+//!
+//! Refreshes are elected by CAS: the first worker of a device to cross an
+//! epoch boundary wins the right to copy, everyone else keeps iterating —
+//! there is no barrier anywhere, and readers may observe a half-copied
+//! stage (mixed epochs), exactly the racy view an asynchronous DMA gives
+//! the paper's kernels.
+
+use crate::timing::CommStrategy;
+use crate::xview::{AtomicF64Vec, HaloView};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The staged-halo state for one multi-device run: one full-length stage
+/// per device (plus a host stage for AMC), refreshed on the strategy's
+/// epoch cadence.
+#[derive(Debug)]
+pub struct HaloExchange {
+    strategy: CommStrategy,
+    /// Row offsets of the device slices: device `d` owns rows
+    /// `device_rows[d] .. device_rows[d + 1]`.
+    device_rows: Vec<usize>,
+    /// Rounds between stage refreshes (>= 1).
+    epoch_rounds: usize,
+    /// Per-device staged copy of the full iterate; only the off-device
+    /// rows are ever read from (or refreshed into) it.
+    stages: Vec<AtomicF64Vec>,
+    /// The AMC host staging buffer (empty for DC).
+    host_stage: AtomicF64Vec,
+    /// Last epoch each device's stage was refreshed for (CAS-elected).
+    device_epoch: Vec<AtomicUsize>,
+    /// Last epoch the host stage was refreshed for (AMC only).
+    host_epoch: AtomicUsize,
+    /// Global-iteration watermark at which each device's stage content
+    /// was captured from the live iterate — the freshness stamp staleness
+    /// accounting reads.
+    stage_stamp: Vec<AtomicUsize>,
+    /// Watermark of the host stage's content (AMC only).
+    host_stamp: AtomicUsize,
+    /// Total stage refreshes performed (device + host copies).
+    refreshes: AtomicUsize,
+}
+
+impl HaloExchange {
+    /// The halo state for `strategy` over the device slices described by
+    /// `device_rows` (offsets, `device_rows[0] == 0`, last == `n`), with
+    /// stages initialised from `x0`. Returns `None` for
+    /// [`CommStrategy::Dk`], which reads remote memory live.
+    /// `epoch_rounds` below 1 is clamped to 1.
+    pub fn for_strategy(
+        strategy: CommStrategy,
+        device_rows: &[usize],
+        x0: &[f64],
+        epoch_rounds: usize,
+    ) -> Option<HaloExchange> {
+        if strategy == CommStrategy::Dk {
+            return None;
+        }
+        assert!(device_rows.len() >= 2, "need at least one device slice");
+        assert_eq!(device_rows[0], 0, "device offsets must start at 0");
+        assert_eq!(*device_rows.last().unwrap(), x0.len(), "device offsets must cover x");
+        assert!(device_rows.windows(2).all(|w| w[0] < w[1]), "empty device slice");
+        let g = device_rows.len() - 1;
+        Some(HaloExchange {
+            strategy,
+            device_rows: device_rows.to_vec(),
+            epoch_rounds: epoch_rounds.max(1),
+            stages: (0..g).map(|_| AtomicF64Vec::from_slice(x0)).collect(),
+            host_stage: if strategy == CommStrategy::Amc {
+                AtomicF64Vec::from_slice(x0)
+            } else {
+                AtomicF64Vec::new()
+            },
+            device_epoch: (0..g).map(|_| AtomicUsize::new(0)).collect(),
+            host_epoch: AtomicUsize::new(0),
+            stage_stamp: (0..g).map(|_| AtomicUsize::new(0)).collect(),
+            host_stamp: AtomicUsize::new(0),
+            refreshes: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of device slices.
+    pub fn n_devices(&self) -> usize {
+        self.device_rows.len() - 1
+    }
+
+    /// The strategy this exchange realises (never DK).
+    pub fn strategy(&self) -> CommStrategy {
+        self.strategy
+    }
+
+    /// Rounds between stage refreshes.
+    pub fn epoch_rounds(&self) -> usize {
+        self.epoch_rounds
+    }
+
+    /// The row range device `d` owns.
+    pub fn device_range(&self, d: usize) -> (usize, usize) {
+        (self.device_rows[d], self.device_rows[d + 1])
+    }
+
+    /// The watermark stamp of device `d`'s current stage content.
+    pub fn stage_stamp(&self, d: usize) -> usize {
+        self.stage_stamp[d].load(Ordering::Relaxed)
+    }
+
+    /// Total stage refreshes performed so far.
+    pub fn refreshes(&self) -> usize {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// The staged view device `d`'s workers read the iterate through.
+    pub fn view<'a>(&'a self, d: usize, live: &'a AtomicF64Vec) -> HaloView<'a> {
+        HaloView::new(live, &self.stages[d], self.device_rows[d], self.device_rows[d + 1])
+    }
+
+    /// Called by a worker of device `d` about to run a round-`round`
+    /// update: if the round has crossed into a new exchange epoch, elect
+    /// this worker (CAS) to refresh the device's stage. `watermark` is
+    /// the current global-iteration floor, recorded as the freshness
+    /// stamp of whatever live data the refresh captures.
+    pub fn maybe_refresh(
+        &self,
+        d: usize,
+        round: usize,
+        live: &AtomicF64Vec,
+        watermark: usize,
+    ) {
+        let target = round / self.epoch_rounds;
+        if target == 0 {
+            return; // the initial stage covers epoch 0
+        }
+        let cur = self.device_epoch[d].load(Ordering::Relaxed);
+        if cur >= target
+            || self.device_epoch[d]
+                .compare_exchange(cur, target, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return; // up to date, or another worker won the election
+        }
+        match self.strategy {
+            CommStrategy::Amc => {
+                // Pull: the device picks up whatever the *previous*
+                // epoch's push left in host memory — remote data crosses
+                // two hops, so it arrives one epoch later than under DC.
+                self.copy_remote_rows(&self.host_stage, d);
+                self.stage_stamp[d]
+                    .store(self.host_stamp.load(Ordering::Relaxed), Ordering::Relaxed);
+                // Push: elect one device per epoch to refresh the host
+                // stage from the live iterate for the *next* pull.
+                let hcur = self.host_epoch.load(Ordering::Relaxed);
+                if hcur < target
+                    && self
+                        .host_epoch
+                        .compare_exchange(hcur, target, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    for i in 0..live.len() {
+                        self.host_stage.set(i, live.get(i));
+                    }
+                    self.host_stamp.store(watermark, Ordering::Relaxed);
+                    self.refreshes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            CommStrategy::Dc => {
+                // One GPU-direct hop: bulk-copy the live remote slices.
+                self.copy_remote_rows(live, d);
+                self.stage_stamp[d].store(watermark, Ordering::Relaxed);
+            }
+            CommStrategy::Dk => unreachable!("DK has no halo stage"),
+        }
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies every row *outside* device `d`'s own slice from `src` into
+    /// the device's stage. Own rows are never read through the stage, so
+    /// skipping them models that only remote slices move.
+    fn copy_remote_rows(&self, src: &AtomicF64Vec, d: usize) {
+        let (own_start, own_end) = self.device_range(d);
+        let stage = &self.stages[d];
+        for i in 0..own_start {
+            stage.set(i, src.get(i));
+        }
+        for i in own_end..src.len() {
+            stage.set(i, src.get(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xview::XView;
+
+    fn live(vals: &[f64]) -> AtomicF64Vec {
+        AtomicF64Vec::from_slice(vals)
+    }
+
+    #[test]
+    fn dk_has_no_stage() {
+        assert!(HaloExchange::for_strategy(CommStrategy::Dk, &[0, 2, 4], &[0.0; 4], 3).is_none());
+    }
+
+    #[test]
+    fn dc_refreshes_remote_rows_once_per_epoch() {
+        let x0 = [1.0, 2.0, 3.0, 4.0];
+        let h = HaloExchange::for_strategy(CommStrategy::Dc, &[0, 2, 4], &x0, 5).unwrap();
+        let x = live(&x0);
+        for i in 0..4 {
+            x.set(i, 10.0 + i as f64);
+        }
+        // Inside epoch 0: no refresh, device 0 still reads x0 remotely.
+        h.maybe_refresh(0, 4, &x, 2);
+        let v = XView::Staged(h.view(0, &x));
+        assert_eq!(v.get(2), 3.0);
+        assert_eq!(h.stage_stamp(0), 0);
+        assert_eq!(h.refreshes(), 0);
+        // Crossing into epoch 1: remote rows refresh, own rows read live.
+        h.maybe_refresh(0, 5, &x, 5);
+        assert_eq!(v.get(2), 12.0);
+        assert_eq!(v.get(3), 13.0);
+        assert_eq!(v.get(0), 10.0, "own rows always live");
+        assert_eq!(h.stage_stamp(0), 5);
+        assert_eq!(h.refreshes(), 1);
+        // Re-calling within the same epoch is a no-op.
+        h.maybe_refresh(0, 7, &x, 6);
+        assert_eq!(h.stage_stamp(0), 5);
+        assert_eq!(h.refreshes(), 1);
+    }
+
+    #[test]
+    fn amc_lags_one_extra_epoch_behind_dc() {
+        let x0 = [0.0, 0.0, 0.0, 0.0];
+        let h = HaloExchange::for_strategy(CommStrategy::Amc, &[0, 2, 4], &x0, 4).unwrap();
+        let x = live(&x0);
+        // Epoch 1: live holds "epoch 1" values; the pull only sees the
+        // initial host stage (x0), the push captures the live values.
+        for i in 0..4 {
+            x.set(i, 1.0);
+        }
+        h.maybe_refresh(0, 4, &x, 4);
+        let v = XView::Staged(h.view(0, &x));
+        assert_eq!(v.get(2), 0.0, "first pull still sees the initial host stage");
+        assert_eq!(h.stage_stamp(0), 0);
+        // Epoch 2: the pull now delivers what epoch 1 pushed.
+        for i in 0..4 {
+            x.set(i, 2.0);
+        }
+        h.maybe_refresh(0, 8, &x, 8);
+        assert_eq!(v.get(2), 1.0, "second pull delivers the previous epoch's push");
+        assert_eq!(h.stage_stamp(0), 4, "stamped with the push-time watermark");
+        assert_eq!(v.get(0), 2.0, "own rows always live");
+    }
+
+    #[test]
+    fn devices_refresh_independently() {
+        let x0 = [0.0; 6];
+        let h = HaloExchange::for_strategy(CommStrategy::Dc, &[0, 2, 4, 6], &x0, 2).unwrap();
+        let x = live(&x0);
+        x.set(0, 7.0);
+        h.maybe_refresh(1, 2, &x, 2);
+        // Device 1 refreshed; device 2 did not.
+        assert_eq!(h.view(1, &x).get(0), 7.0);
+        assert_eq!(h.view(2, &x).get(0), 0.0);
+        assert_eq!(h.stage_stamp(1), 2);
+        assert_eq!(h.stage_stamp(2), 0);
+    }
+
+    #[test]
+    fn epoch_rounds_clamped_to_one() {
+        let h = HaloExchange::for_strategy(CommStrategy::Dc, &[0, 1, 2], &[0.0; 2], 0).unwrap();
+        assert_eq!(h.epoch_rounds(), 1);
+        assert_eq!(h.n_devices(), 2);
+        assert_eq!(h.strategy(), CommStrategy::Dc);
+        assert_eq!(h.device_range(1), (1, 2));
+    }
+}

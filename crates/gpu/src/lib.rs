@@ -21,6 +21,7 @@
 //!    Figures 8, 9, 11.
 
 pub mod device;
+pub mod halo;
 pub mod kernel;
 pub mod occupancy;
 pub mod persistent;
@@ -33,16 +34,17 @@ pub mod trace;
 pub mod xview;
 
 pub use device::{DeviceSpec, HostSpec};
+pub use halo::HaloExchange;
 pub use kernel::{BlockKernel, BlockScratch, UpdateFilter};
 pub use occupancy::{occupancy, KernelFootprint, Occupancy, SmLimits};
 pub use persistent::{
     ConvergenceMonitor, NoMonitor, PersistentExecutor, PersistentOptions, PersistentReport,
-    PersistentWorkspace,
+    PersistentWorkspace, ShardPlan,
 };
 pub use schedule::{BlockSchedule, RandomPermutation, RecurringPattern, RoundRobin};
 pub use sim::{SimExecutor, SimOptions};
 pub use threaded::{ThreadedExecutor, ThreadedOptions};
-pub use timing::TimingModel;
+pub use timing::{CommStrategy, TimingModel};
 pub use topology::Topology;
-pub use trace::UpdateTrace;
-pub use xview::{AtomicF64Vec, XView};
+pub use trace::{SkewTracker, StalenessHistogram, UpdateTrace};
+pub use xview::{AtomicF64Vec, HaloView, XView};

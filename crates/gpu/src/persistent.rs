@@ -30,13 +30,55 @@
 //! threaded executor; the discrete-event simulator remains the
 //! reproducible oracle.
 
+use crate::halo::HaloExchange;
 use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
 use crate::schedule::BlockSchedule;
 use crate::threaded::acquire_block_flag;
-use crate::trace::UpdateTrace;
+use crate::trace::{SkewTracker, StalenessHistogram, UpdateTrace};
 use crate::xview::{AtomicF64Vec, XView};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// An explicit contiguous shard partition of the block set: shard `s`
+/// owns blocks `offsets[s] .. offsets[s + 1]`. This is how a multi-device
+/// run hands the executor its *device slices* — the shards then are the
+/// per-device block ranges, not an arbitrary `n_workers`-way split — so
+/// the execution topology matches what the timing model prices and what
+/// the halo layer stages. Workers map onto shards round-robin
+/// (`worker % n_shards`), so more workers than shards simply team up on
+/// each device.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    offsets: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// A plan from block-index offsets: `offsets[0] == 0`, strictly
+    /// increasing, last entry = total block count (checked against the
+    /// kernel at run time).
+    pub fn from_offsets(offsets: &[usize]) -> ShardPlan {
+        assert!(offsets.len() >= 2, "a shard plan needs at least one shard");
+        assert_eq!(offsets[0], 0, "shard offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]), "shards must be non-empty");
+        ShardPlan { offsets: offsets.to_vec() }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The block-index offsets.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The block range of shard `s`.
+    pub fn shard_range(&self, s: usize) -> (usize, usize) {
+        (self.offsets[s], self.offsets[s + 1])
+    }
+}
 
 /// Options for [`PersistentExecutor`].
 #[derive(Debug, Clone)]
@@ -60,13 +102,15 @@ pub struct PersistentOptions {
     /// cores with the workers (as the paper's host shares the PCIe bus),
     /// and on a single-core host every needless wakeup preempts a worker.
     pub monitor_pause: Duration,
-    /// How many rounds a shard may run ahead of the laggiest unfinished
-    /// shard. Workers skip shards beyond this window and steal from the
+    /// How many rounds a shard's dispatch may run ahead of the
+    /// committed-progress floor (the minimum per-block processed-dispatch
+    /// count). Workers skip shards beyond this window and steal from the
     /// lagging ones instead, bounding the realised staleness — the
     /// admissibility condition (paper Eq. 2) requires the shift to be
     /// bounded, and an OS scheduler (unlike the GPU's hardware dispatcher)
     /// will happily let one worker drain its whole budget in a single
-    /// timeslice if nothing stops it.
+    /// timeslice if nothing stops it. The reported `UpdateTrace::max_skew`
+    /// stays within `max_round_lag + 1`.
     pub max_round_lag: usize,
 }
 
@@ -157,7 +201,10 @@ impl PersistentWorkspace {
     }
 
     /// (Re)builds every buffer for a run. Reuses capacity wherever the
-    /// shapes match the previous run.
+    /// shapes match the previous run. With `shard_offsets` the split is
+    /// the caller's (device slices); otherwise it is the even
+    /// `n_shards`-way default.
+    #[allow(clippy::too_many_arguments)]
     fn prepare(
         &mut self,
         kernel: &dyn BlockKernel,
@@ -166,20 +213,30 @@ impl PersistentWorkspace {
         schedule: &mut dyn BlockSchedule,
         n_shards: usize,
         cycle_cap: usize,
+        shard_offsets: Option<&[usize]>,
     ) {
         let nb = kernel.n_blocks();
         self.x.reset_from(x0);
         self.snapshot.resize(x0.len(), 0.0);
 
-        // Contiguous shard split: shard s owns q blocks, the first r
-        // shards one extra.
-        let q = nb / n_shards;
-        let r = nb % n_shards;
         self.shard_len.clear();
-        self.shard_len.extend((0..n_shards).map(|s| q + usize::from(s < r)));
+        match shard_offsets {
+            Some(off) => {
+                debug_assert_eq!(off.len() - 1, n_shards);
+                assert_eq!(*off.last().unwrap(), nb, "shard plan must cover every block");
+                self.shard_len.extend(off.windows(2).map(|w| w[1] - w[0]));
+            }
+            None => {
+                // Contiguous shard split: shard s owns q blocks, the
+                // first r shards one extra.
+                let q = nb / n_shards;
+                let r = nb % n_shards;
+                self.shard_len.extend((0..n_shards).map(|s| q + usize::from(s < r)));
+            }
+        }
         self.block_shard.clear();
         for (s, &len) in self.shard_len.iter().enumerate() {
-            self.block_shard.extend(std::iter::repeat(s as u32).take(len));
+            self.block_shard.extend(std::iter::repeat_n(s as u32, len));
         }
         self.shard_total.clear();
         self.shard_total.extend(self.shard_len.iter().map(|&len| len * rounds));
@@ -235,6 +292,9 @@ pub struct PersistentReport {
     pub stolen_updates: usize,
     /// OS threads spawned — always exactly the worker count, once.
     pub workers_spawned: usize,
+    /// Halo stage refreshes performed (0 when the run had no
+    /// [`HaloExchange`] — single-device or DK).
+    pub halo_refreshes: usize,
 }
 
 /// The persistent-worker executor.
@@ -256,6 +316,7 @@ impl PersistentExecutor {
     /// with `monitor` checked concurrently on the calling thread. Stops
     /// early when the monitor fires. The workspace is reused storage —
     /// pass the same one across runs to avoid reallocation.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
         kernel: &dyn BlockKernel,
@@ -266,6 +327,30 @@ impl PersistentExecutor {
         monitor: &mut dyn ConvergenceMonitor,
         ws: &mut PersistentWorkspace,
     ) -> (UpdateTrace, PersistentReport) {
+        self.run_sharded(kernel, x, rounds, schedule, filter, monitor, ws, None, None)
+    }
+
+    /// [`run`](Self::run) with an explicit shard partition and an
+    /// optional staged halo. With `shards`, the per-shard ticket pools
+    /// are the plan's block ranges (a multi-GPU driver passes its device
+    /// slices) instead of the even `n_workers`-way split. With `halo`,
+    /// workers of shard `s` read the iterate through the halo's staged
+    /// view for device `s` — off-shard components then arrive on the
+    /// exchange's epoch cadence rather than live — and the halo's device
+    /// count must equal the shard count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded(
+        &self,
+        kernel: &dyn BlockKernel,
+        x: &mut [f64],
+        rounds: usize,
+        schedule: &mut dyn BlockSchedule,
+        filter: &dyn UpdateFilter,
+        monitor: &mut dyn ConvergenceMonitor,
+        ws: &mut PersistentWorkspace,
+        shards: Option<&ShardPlan>,
+        halo: Option<&HaloExchange>,
+    ) -> (UpdateTrace, PersistentReport) {
         let nb = kernel.n_blocks();
         assert_eq!(x.len(), kernel.n(), "iterate length must match kernel");
         let mut trace = UpdateTrace::new(nb);
@@ -275,8 +360,26 @@ impl PersistentExecutor {
         }
 
         let n_workers = self.opts.n_workers.max(1);
-        let n_shards = n_workers.min(nb);
-        ws.prepare(kernel, x, rounds, schedule, n_shards, self.opts.schedule_cycle);
+        let n_shards = match shards {
+            Some(plan) => plan.n_shards(),
+            None => n_workers.min(nb),
+        };
+        if let Some(h) = halo {
+            assert_eq!(
+                h.n_devices(),
+                n_shards,
+                "halo device count must match the shard count"
+            );
+        }
+        ws.prepare(
+            kernel,
+            x,
+            rounds,
+            schedule,
+            n_shards,
+            self.opts.schedule_cycle,
+            shards.map(|p| p.offsets()),
+        );
         report.workers_spawned = n_workers;
 
         // Disjoint borrows of the workspace: workers share the immutable
@@ -290,16 +393,39 @@ impl PersistentExecutor {
             ref shard_total,
             ref counts,
             ref in_flight,
+            ref block_shard,
             cycle_rounds,
             ..
         } = *ws;
-        let cycle_rounds = cycle_rounds;
 
         let stop = AtomicBool::new(false);
         let active = AtomicUsize::new(n_workers);
         let skipped = AtomicUsize::new(0);
         let stolen = AtomicUsize::new(0);
         let lag = self.opts.max_round_lag;
+        // The concurrent count-of-counts watermark (allocated here, at
+        // solve start). Its floor — the minimum per-block *progress*
+        // (commits plus filter-skips) — is what the lag gate below
+        // compares dispatch rounds against: gating on committed progress
+        // rather than dispatched tickets is what makes the reported
+        // `max_skew <= max_round_lag + 1` airtight (an in-flight dispatch
+        // no longer lets other blocks run an extra window ahead), and
+        // counting skips keeps a filter-frozen block from pinning the
+        // floor forever.
+        let skew = SkewTracker::new(nb);
+        let skew = &skew;
+        // Each worker records read staleness into a private histogram and
+        // merges it here at exit (one lock per worker per run).
+        let stale_sink: Mutex<StalenessHistogram> = Mutex::new(StalenessHistogram::default());
+        // Per-shard read views: live atomic everywhere, unless a halo
+        // stages the off-shard components.
+        let shard_views: Vec<XView<'_>> = (0..n_shards)
+            .map(|s| match halo {
+                Some(h) => XView::Staged(h.view(s, xa)),
+                None => XView::Atomic(xa),
+            })
+            .collect();
+        let shard_views = &shard_views;
         let started = Instant::now();
 
         std::thread::scope(|scope| {
@@ -308,38 +434,40 @@ impl PersistentExecutor {
                 let active = &active;
                 let skipped = &skipped;
                 let stolen = &stolen;
+                let stale_sink = &stale_sink;
                 scope.spawn(move || {
                     let home = w % n_shards;
                     // Per-worker buffers: allocated at spawn (= solve
                     // start), allocation-free once capacities settle.
                     let mut out: Vec<f64> = Vec::new();
                     let mut scratch = BlockScratch::new();
+                    let mut stale_local = StalenessHistogram::default();
                     'work: while !stop.load(Ordering::Relaxed) {
-                        // The laggiest round among unfinished shards. A
-                        // worker may only draw from shards within
-                        // `max_round_lag` of it — beyond that it steals
-                        // from the laggards instead, which both bounds
-                        // the realised staleness and actively rebalances
-                        // the load.
-                        let mut min_round = usize::MAX;
+                        let mut exhausted = true;
                         for s in 0..n_shards {
-                            let seen = next[s].load(Ordering::Relaxed);
-                            if seen < shard_total[s] {
-                                min_round = min_round.min(seen / shard_len[s]);
+                            if next[s].load(Ordering::Relaxed) < shard_total[s] {
+                                exhausted = false;
+                                break;
                             }
                         }
-                        if min_round == usize::MAX {
-                            break 'work; // every shard exhausted
+                        if exhausted {
+                            break 'work;
                         }
+                        // The lag gate: a shard whose next dispatch round
+                        // is more than `max_round_lag` ahead of the
+                        // committed-progress floor is skipped — its
+                        // would-be worker steals from the laggards
+                        // instead, which both bounds the realised
+                        // staleness (Eq. 2) and actively rebalances the
+                        // load.
+                        let floor = skew.floor();
                         // Draw a ticket: home shard first, then steal in
                         // ring order from the eligible others.
                         let mut drawn = None;
                         for probe in 0..n_shards {
                             let s = (home + probe) % n_shards;
                             let seen = next[s].load(Ordering::Relaxed);
-                            if seen >= shard_total[s]
-                                || seen / shard_len[s] > min_round + lag
-                            {
+                            if seen >= shard_total[s] || seen / shard_len[s] > floor + lag {
                                 continue;
                             }
                             let t = next[s].fetch_add(1, Ordering::Relaxed);
@@ -349,8 +477,9 @@ impl PersistentExecutor {
                             }
                         }
                         let Some((s, t, was_stolen)) = drawn else {
-                            // Raced out of every eligible shard; let the
-                            // current holders make progress and retry.
+                            // Every eligible shard raced away (or only
+                            // in-flight commits can advance the floor);
+                            // let the holders make progress and retry.
                             std::thread::yield_now();
                             continue 'work;
                         };
@@ -360,14 +489,35 @@ impl PersistentExecutor {
                         if was_stolen {
                             stolen.fetch_add(1, Ordering::Relaxed);
                         }
+                        if let Some(h) = halo {
+                            h.maybe_refresh(s, round, xa, skew.floor());
+                        }
                         if filter.block_enabled(block, round) {
                             acquire_block_flag(&in_flight[block]);
+                            // Realised shift of every neighbour read
+                            // (Eq. 3 measured, mirroring the DES): own
+                            // committed rounds minus what the read
+                            // actually delivers — the neighbour's count
+                            // when read live, the stage's freshness stamp
+                            // when it comes through the halo.
+                            if let Some(nbrs) = kernel.neighbor_blocks(block) {
+                                let own = counts[block].load(Ordering::Relaxed) as i64;
+                                for &j in nbrs {
+                                    let read = match halo {
+                                        Some(h) if block_shard[j] as usize != s => {
+                                            h.stage_stamp(s) as i64
+                                        }
+                                        _ => counts[j].load(Ordering::Relaxed) as i64,
+                                    };
+                                    stale_local.record(own - read);
+                                }
+                            }
                             let (bs, be) = kernel.block_range(block);
                             out.clear();
                             out.resize(be - bs, 0.0);
                             kernel.update_block_with(
                                 block,
-                                &XView::Atomic(xa),
+                                &shard_views[s],
                                 &mut out,
                                 &mut scratch,
                             );
@@ -381,6 +531,10 @@ impl PersistentExecutor {
                         } else {
                             skipped.fetch_add(1, Ordering::Relaxed);
                         }
+                        skew.on_progress(block);
+                    }
+                    if stale_local.total() > 0 {
+                        stale_sink.lock().merge(&stale_local);
                     }
                     active.fetch_sub(1, Ordering::Release);
                 });
@@ -438,14 +592,18 @@ impl PersistentExecutor {
                             report.stopped_at = Some(watermark);
                             stop.store(true, Ordering::Relaxed);
                         } else {
-                            next_check = watermark + period;
+                            next_check = watermark.saturating_add(period);
                         }
                         continue;
                     }
                     // Wake around halfway to the expected due time so the
                     // check lands within ~period/2 of the true crossing.
-                    let remaining = (next_check - watermark) as u32;
-                    let pause = (per_round * remaining / 2).clamp(base_pause, max_pause);
+                    // The distance is clamped before widening to `u32`
+                    // and the multiply saturates: a monitor with a huge
+                    // `period` (e.g. `usize::MAX` to mean "never") must
+                    // degrade into the max pause, not overflow.
+                    let remaining = next_check.saturating_sub(watermark).min(1 << 16) as u32;
+                    let pause = (per_round.saturating_mul(remaining) / 2).clamp(base_pause, max_pause);
                     std::thread::sleep(pause);
                 } else {
                     // Nothing to check (fixed budget or stop already
@@ -459,9 +617,12 @@ impl PersistentExecutor {
         trace.elapsed = started.elapsed().as_secs_f64();
         trace.updates_per_block = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
         trace.skipped_updates = skipped.load(Ordering::Relaxed);
+        trace.max_skew = skew.max_skew();
+        trace.staleness = stale_sink.into_inner();
         report.global_iterations =
             trace.updates_per_block.iter().copied().min().unwrap_or(0);
         report.stolen_updates = stolen.load(Ordering::Relaxed);
+        report.halo_refreshes = halo.map_or(0, |h| h.refreshes());
         xa.copy_into(x);
         (trace, report)
     }
@@ -589,7 +750,7 @@ mod tests {
             ..PersistentOptions::default()
         });
         let mut ws = PersistentWorkspace::new();
-        let mut run = |ws: &mut PersistentWorkspace| {
+        let run = |ws: &mut PersistentWorkspace| {
             let mut x = vec![1.0; 30];
             exec.run(
                 &kernel,
@@ -633,6 +794,151 @@ mod tests {
         let mean = x.iter().sum::<f64>() / 8.0;
         for &v in &x {
             assert!((v - mean).abs() < 1e-6);
+        }
+    }
+
+    /// Satellite regression: a multi-worker persistent run must actually
+    /// measure skew (today's bug was a dead `max_skew == 0`), and the
+    /// progress-floor lag gate must keep it within `max_round_lag + 1`.
+    #[test]
+    fn max_skew_is_nonzero_and_bounded_by_the_lag_gate() {
+        for lag in [1usize, 3] {
+            let kernel = ConsensusKernel { n: 48, block_size: 4 };
+            let mut x: Vec<f64> = (0..48).map(|i| i as f64).collect();
+            let exec = PersistentExecutor::new(PersistentOptions {
+                n_workers: 4,
+                max_round_lag: lag,
+                ..PersistentOptions::default()
+            });
+            let mut ws = PersistentWorkspace::new();
+            let (trace, _) = exec.run(
+                &kernel,
+                &mut x,
+                60,
+                &mut RandomPermutation::new(7),
+                &AllowAll,
+                &mut NoMonitor,
+                &mut ws,
+            );
+            assert_eq!(trace.updates_per_block, vec![60; 12]);
+            assert!(trace.max_skew > 0, "a concurrent run cannot be perfectly synchronous");
+            assert!(
+                trace.max_skew <= lag + 1,
+                "skew {} exceeds the lag bound {}",
+                trace.max_skew,
+                lag + 1
+            );
+        }
+    }
+
+    /// Satellite regression: a monitor with a huge period (e.g.
+    /// `usize::MAX` to mean "never due") must neither overflow the pacing
+    /// arithmetic nor ever fire.
+    #[test]
+    fn huge_monitor_period_does_not_overflow_the_pacing() {
+        struct NeverDue;
+        impl ConvergenceMonitor for NeverDue {
+            fn period(&self) -> usize {
+                usize::MAX
+            }
+            fn check(&mut self, _gi: usize, _x: &[f64]) -> bool {
+                panic!("a usize::MAX period must never come due");
+            }
+        }
+        let (_, trace, report) = run_consensus(2, 40, &mut NeverDue);
+        assert_eq!(trace.total_updates(), 40 * 10);
+        assert_eq!(report.checks, 0);
+        assert_eq!(report.stopped_at, None);
+    }
+
+    #[test]
+    fn explicit_shard_plan_drives_the_split() {
+        let kernel = ConsensusKernel { n: 20, block_size: 4 }; // 5 blocks
+        let mut x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 4, // more workers than shards: they team up
+            ..PersistentOptions::default()
+        });
+        let plan = ShardPlan::from_offsets(&[0, 2, 5]);
+        assert_eq!(plan.n_shards(), 2);
+        assert_eq!(plan.shard_range(1), (2, 5));
+        let mut ws = PersistentWorkspace::new();
+        let (trace, report) = exec.run_sharded(
+            &kernel,
+            &mut x,
+            30,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+            Some(&plan),
+            None,
+        );
+        assert_eq!(trace.updates_per_block, vec![30; 5]);
+        assert_eq!(report.global_iterations, 30);
+        assert_eq!(report.workers_spawned, 4);
+        // The workspace took the plan's lengths, not the even split.
+        assert_eq!(ws.shard_len, vec![2, 3]);
+        let mean = x.iter().sum::<f64>() / 20.0;
+        for &v in &x {
+            assert!((v - mean).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every block")]
+    fn shard_plan_must_cover_every_block() {
+        let kernel = ConsensusKernel { n: 20, block_size: 4 }; // 5 blocks
+        let mut x = vec![0.0; 20];
+        let exec = PersistentExecutor::default();
+        let plan = ShardPlan::from_offsets(&[0, 2, 4]); // only 4 of 5
+        let mut ws = PersistentWorkspace::new();
+        exec.run_sharded(
+            &kernel,
+            &mut x,
+            2,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+            Some(&plan),
+            None,
+        );
+    }
+
+    #[test]
+    fn staged_halo_refreshes_and_still_converges() {
+        use crate::halo::HaloExchange;
+        use crate::timing::CommStrategy;
+        let kernel = ConsensusKernel { n: 20, block_size: 4 }; // 5 blocks
+        let mut x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let x0 = x.clone();
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 2,
+            ..PersistentOptions::default()
+        });
+        let plan = ShardPlan::from_offsets(&[0, 2, 5]);
+        // Device rows mirror the shard plan's block ranges (blocks of 4).
+        let halo = HaloExchange::for_strategy(CommStrategy::Dc, &[0, 8, 20], &x0, 2).unwrap();
+        let mut ws = PersistentWorkspace::new();
+        let (trace, report) = exec.run_sharded(
+            &kernel,
+            &mut x,
+            400,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+            Some(&plan),
+            Some(&halo),
+        );
+        assert_eq!(trace.updates_per_block, vec![400; 5]);
+        assert!(report.halo_refreshes > 0, "the exchange must actually run");
+        // Stale halos slow consensus but must not break it: with a
+        // 2-round epoch over 400 rounds the devices still agree.
+        let mean = x.iter().sum::<f64>() / 20.0;
+        for &v in &x {
+            assert!((v - mean).abs() < 1e-5, "not converged: {v} vs {mean}");
         }
     }
 

@@ -12,7 +12,7 @@
 
 use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
 use crate::schedule::{flatten_schedule, BlockSchedule};
-use crate::trace::UpdateTrace;
+use crate::trace::{SkewTracker, UpdateTrace};
 use crate::xview::{AtomicF64Vec, XView};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -108,6 +108,12 @@ impl ThreadedExecutor {
         // just one more admissible chaotic ordering.
         let in_flight: Vec<AtomicBool> = (0..nb).map(|_| AtomicBool::new(false)).collect();
         let skipped = AtomicUsize::new(0);
+        // Count-of-counts watermark: every processed ticket (commit or
+        // filtered skip) is progress, so the reported `max_skew` measures
+        // how far the chaotic interleaving actually spread the blocks —
+        // previously this path left `max_skew` dead at zero.
+        let skew = SkewTracker::new(nb);
+        let skew = &skew;
         let snapshots: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
         let started = Instant::now();
 
@@ -142,6 +148,7 @@ impl ThreadedExecutor {
                         } else {
                             skipped.fetch_add(1, Ordering::Relaxed);
                         }
+                        skew.on_progress(block);
                         if self.opts.snapshot_rounds && (t + 1).is_multiple_of(nb) {
                             snapshots.lock().push((round, x.snapshot()));
                         }
@@ -154,6 +161,7 @@ impl ThreadedExecutor {
         trace.updates_per_block =
             counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
         trace.skipped_updates = skipped.load(Ordering::Relaxed);
+        trace.max_skew = skew.max_skew();
         let mut snaps = snapshots.into_inner();
         snaps.sort_by_key(|(round, _)| *round);
         (x.snapshot(), trace, snaps.into_iter().map(|(_, s)| s).collect())
@@ -179,6 +187,21 @@ mod tests {
             assert!((v - mean).abs() < 1e-5, "not converged: {v} vs {mean}");
         }
         assert_eq!(trace.total_updates(), 80 * kernel.n_blocks());
+    }
+
+    /// Satellite regression: this path used to leave `max_skew` dead at
+    /// zero. With more than one block the very first committed update
+    /// already spreads the count histogram, so a run must report skew.
+    #[test]
+    fn max_skew_is_measured_on_the_threaded_path() {
+        let kernel = ConsensusKernel { n: 24, block_size: 4 };
+        let x0 = vec![1.0; 24];
+        let exec = ThreadedExecutor::new(ThreadedOptions {
+            n_workers: 4,
+            ..ThreadedOptions::default()
+        });
+        let (_, trace, _) = exec.run(&kernel, &x0, 40, &mut RoundRobin, &AllowAll);
+        assert!(trace.max_skew > 0, "a run over >1 block cannot report zero skew");
     }
 
     #[test]

@@ -233,9 +233,30 @@ impl TimingModel {
         }
     }
 
-    /// Marginal per-global-iteration time of multi-GPU async-(k): each
-    /// device sweeps and book-keeps only its `n/g` share, plus the
-    /// strategy's communication cost.
+    /// The strategy-independent compute share of one multi-GPU async-(k)
+    /// global iteration: each device sweeps and book-keeps only its
+    /// `n/g` share.
+    pub fn multi_gpu_compute_iteration(
+        &self,
+        topo: &Topology,
+        n: usize,
+        nnz: usize,
+        nnz_local: usize,
+        local_iters: usize,
+    ) -> f64 {
+        let g = topo.n_devices().max(1);
+        let n2 = (n as f64) * (n as f64);
+        self.kernel_launch
+            + (self.host_norm_coeff * n2
+                + self.kernel_nnz_coeff * nnz as f64
+                + self.local_sweep_coeff
+                    * nnz_local as f64
+                    * local_iters.saturating_sub(1) as f64)
+                / g as f64
+    }
+
+    /// Marginal per-global-iteration time of multi-GPU async-(k): the
+    /// compute share plus the strategy's communication cost.
     pub fn multi_gpu_async_iteration(
         &self,
         topo: &Topology,
@@ -245,16 +266,35 @@ impl TimingModel {
         nnz_local: usize,
         local_iters: usize,
     ) -> f64 {
-        let g = topo.n_devices().max(1);
-        let n2 = (n as f64) * (n as f64);
-        let compute = self.kernel_launch
-            + (self.host_norm_coeff * n2
-                + self.kernel_nnz_coeff * nnz as f64
-                + self.local_sweep_coeff
-                    * nnz_local as f64
-                    * local_iters.saturating_sub(1) as f64)
-                / g as f64;
-        compute + self.multi_gpu_transfer(topo, strategy, n)
+        self.multi_gpu_compute_iteration(topo, n, nnz, nnz_local, local_iters)
+            + self.multi_gpu_transfer(topo, strategy, n)
+    }
+
+    /// How many compute rounds one halo exchange takes under `strategy` —
+    /// the refresh cadence of [`crate::halo::HaloExchange`], modelling a
+    /// pipelined exchange running concurrently with compute: while one
+    /// exchange is in flight, `ceil(transfer / compute)` rounds complete,
+    /// so that is how stale (in rounds) a freshly arrived stage already
+    /// is. Returns `0` for DK, whose kernels read remote memory live.
+    pub fn halo_epoch_rounds(
+        &self,
+        topo: &Topology,
+        strategy: CommStrategy,
+        n: usize,
+        nnz: usize,
+        nnz_local: usize,
+        local_iters: usize,
+    ) -> usize {
+        if strategy == CommStrategy::Dk {
+            return 0;
+        }
+        let compute = self.multi_gpu_compute_iteration(topo, n, nnz, nnz_local, local_iters);
+        let transfer = self.multi_gpu_transfer(topo, strategy, n);
+        let ratio = transfer / compute;
+        if !ratio.is_finite() {
+            return 1;
+        }
+        (ratio.ceil() as usize).clamp(1, 1024)
     }
 }
 
@@ -419,6 +459,26 @@ mod tests {
             assert!(t2 < t1, "{s:?}: {t1} -> {t2}");
             assert!(t2 > 0.6 * t1, "{s:?} gains should be modest: {t1} -> {t2}");
         }
+    }
+
+    #[test]
+    fn halo_epochs_follow_the_transfer_to_compute_ratio() {
+        let m = TimingModel::calibrated();
+        let topo = Topology::supermicro(2);
+        // trefethen(400) shape, async-(5), half the nnz local.
+        let (n, nnz) = (400, 2800);
+        let e = |s| m.halo_epoch_rounds(&topo, s, n, nnz, nnz / 2, 5);
+        assert_eq!(e(CommStrategy::Dk), 0, "DK reads live");
+        let amc = e(CommStrategy::Amc);
+        let dc = e(CommStrategy::Dc);
+        assert!(amc >= 1 && dc >= 1);
+        // DC's serialised master-link exchange costs more per epoch than
+        // AMC's concurrent host hops, so its cadence is coarser.
+        assert!(dc > amc, "AMC epoch {amc} vs DC epoch {dc}");
+        // Consistency: epoch ~ transfer / compute.
+        let compute = m.multi_gpu_compute_iteration(&topo, n, nnz, nnz / 2, 5);
+        let transfer = m.multi_gpu_transfer(&topo, CommStrategy::Amc, n);
+        assert_eq!(amc, (transfer / compute).ceil() as usize);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Execution traces: what the executor actually did — including the
 //! *realised* shift function of the paper's Eq. (3).
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Histogram of realised read staleness: for each block update at its own
 /// round `r`, reading a neighbour block that had completed `c` updates
@@ -61,6 +63,96 @@ impl StalenessHistogram {
     pub fn entries(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
         self.counts.iter().map(|(&s, &c)| (s, c))
     }
+
+    /// Folds another histogram into this one. The threaded executors let
+    /// each worker record into a private histogram and merge at join, so
+    /// the hot path never touches a shared map.
+    pub fn merge(&mut self, other: &StalenessHistogram) {
+        for (&s, &c) in &other.counts {
+            *self.counts.entry(s).or_insert(0) += c;
+        }
+    }
+}
+
+/// Concurrent count-of-counts watermark tracker: the real-thread
+/// executors' counterpart of the DES's skew bookkeeping (`sim.rs`).
+///
+/// Every processed dispatch (a committed update, or a filter-skipped one
+/// — both advance a block past its round) moves one block from progress
+/// bucket `c` to `c + 1`; the histogram maintains the minimum (the
+/// *progress floor*, also published as a relaxed atomic so workers can
+/// read it without taking the lock) and maximum in O(1), and
+/// [`max_skew`](Self::max_skew) records the widest spread ever observed —
+/// the empirical check of the paper's Eq. 2 staleness bound. Skips count
+/// as progress on purpose: a permanently frozen block (fault injection)
+/// must not pin the floor, or the persistent executor's lag gate would
+/// deadlock against it.
+#[derive(Debug)]
+pub struct SkewTracker {
+    inner: Mutex<SkewInner>,
+    /// Relaxed mirror of the histogram minimum, for lock-free reads on
+    /// the dispatch path.
+    floor: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct SkewInner {
+    progress: Vec<usize>,
+    /// `hist[c]` blocks have progressed exactly `c` times.
+    hist: Vec<usize>,
+    min_count: usize,
+    max_count: usize,
+    max_skew: usize,
+}
+
+impl SkewTracker {
+    /// A tracker over `n_blocks` blocks, all at progress 0.
+    pub fn new(n_blocks: usize) -> Self {
+        SkewTracker {
+            inner: Mutex::new(SkewInner {
+                progress: vec![0; n_blocks],
+                hist: vec![n_blocks],
+                min_count: 0,
+                max_count: 0,
+                max_skew: 0,
+            }),
+            floor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one processed dispatch of `block` (commit or skip).
+    pub fn on_progress(&self, block: usize) {
+        let mut g = self.inner.lock();
+        let old = g.progress[block];
+        g.progress[block] = old + 1;
+        g.hist[old] -= 1;
+        if g.hist.len() == old + 1 {
+            g.hist.push(0);
+        }
+        g.hist[old + 1] += 1;
+        if old + 1 > g.max_count {
+            g.max_count = old + 1;
+        }
+        if old == g.min_count && g.hist[old] == 0 {
+            g.min_count += 1;
+            self.floor.store(g.min_count, Ordering::Relaxed);
+        }
+        let skew = g.max_count - g.min_count;
+        if skew > g.max_skew {
+            g.max_skew = skew;
+        }
+    }
+
+    /// The current progress floor (minimum over blocks), relaxed.
+    #[inline]
+    pub fn floor(&self) -> usize {
+        self.floor.load(Ordering::Relaxed)
+    }
+
+    /// The widest min-to-max spread observed so far.
+    pub fn max_skew(&self) -> usize {
+        self.inner.lock().max_skew
+    }
 }
 
 /// Summary of one executor run.
@@ -77,7 +169,8 @@ pub struct UpdateTrace {
     /// Number of block updates that were skipped by the filter.
     pub skipped_updates: usize,
     /// Realised read-staleness distribution (empty unless the kernel
-    /// exposes its neighbour blocks; DES executor only).
+    /// exposes its neighbour blocks; maintained by the DES and persistent
+    /// executors).
     pub staleness: StalenessHistogram,
 }
 
@@ -140,5 +233,49 @@ mod tests {
         assert!((h.fraction_fresh() - 0.25).abs() < 1e-15);
         let e: Vec<_> = h.entries().collect();
         assert_eq!(e, vec![(-1, 1), (0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn histograms_merge() {
+        let mut a = StalenessHistogram::default();
+        a.record(0);
+        a.record(3);
+        let mut b = StalenessHistogram::default();
+        b.record(3);
+        b.record(-1);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        let e: Vec<_> = a.entries().collect();
+        assert_eq!(e, vec![(-1, 1), (0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn skew_tracker_matches_manual_bookkeeping() {
+        let t = SkewTracker::new(3);
+        assert_eq!(t.floor(), 0);
+        assert_eq!(t.max_skew(), 0);
+        t.on_progress(0); // counts 1,0,0
+        assert_eq!(t.max_skew(), 1);
+        assert_eq!(t.floor(), 0);
+        t.on_progress(0); // 2,0,0
+        assert_eq!(t.max_skew(), 2);
+        t.on_progress(1); // 2,1,0
+        t.on_progress(2); // 2,1,1 -> floor advances to 1
+        assert_eq!(t.floor(), 1);
+        assert_eq!(t.max_skew(), 2);
+        t.on_progress(1); // 2,2,1
+        t.on_progress(2); // 2,2,2 -> floor 2, skew now 0 but max stays
+        assert_eq!(t.floor(), 2);
+        assert_eq!(t.max_skew(), 2);
+    }
+
+    #[test]
+    fn skew_tracker_single_block_never_skews() {
+        let t = SkewTracker::new(1);
+        for _ in 0..10 {
+            t.on_progress(0);
+        }
+        assert_eq!(t.max_skew(), 0);
+        assert_eq!(t.floor(), 10);
     }
 }

@@ -93,6 +93,55 @@ impl Default for AtomicF64Vec {
     }
 }
 
+/// A device's staged view of the iterate: reads inside `[own_start,
+/// own_end)` come from the live shared vector (the device's own memory),
+/// reads outside come from a staged halo buffer that a
+/// [`crate::halo::HaloExchange`] refreshes on its strategy's cadence.
+/// This is how the AMC and DC schemes of §3.4 actually see remote data —
+/// through a copy that lags the live iterate — where DK's kernels read
+/// the remote memory directly.
+#[derive(Clone, Copy)]
+pub struct HaloView<'a> {
+    live: &'a AtomicF64Vec,
+    stage: &'a AtomicF64Vec,
+    own_start: usize,
+    own_end: usize,
+}
+
+impl<'a> HaloView<'a> {
+    /// A view for the device owning rows `[own_start, own_end)`.
+    pub fn new(
+        live: &'a AtomicF64Vec,
+        stage: &'a AtomicF64Vec,
+        own_start: usize,
+        own_end: usize,
+    ) -> Self {
+        assert_eq!(live.len(), stage.len(), "stage must mirror the live iterate");
+        assert!(own_start <= own_end && own_end <= live.len(), "own range out of bounds");
+        HaloView { live, stage, own_start, own_end }
+    }
+
+    /// Reads component `i`: live when owned, staged when remote.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        if i >= self.own_start && i < self.own_end {
+            self.live.get(i)
+        } else {
+            self.stage.get(i)
+        }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
 /// A read-only view of the iterate, over either storage.
 #[derive(Clone, Copy)]
 pub enum XView<'a> {
@@ -100,6 +149,9 @@ pub enum XView<'a> {
     Plain(&'a [f64]),
     /// Atomic storage (threaded executor).
     Atomic(&'a AtomicF64Vec),
+    /// Device-staged storage: own rows live, remote rows through a halo
+    /// stage (AMC/DC multi-GPU realisation).
+    Staged(HaloView<'a>),
 }
 
 impl XView<'_> {
@@ -109,6 +161,7 @@ impl XView<'_> {
         match self {
             XView::Plain(s) => s[i],
             XView::Atomic(a) => a.get(i),
+            XView::Staged(h) => h.get(i),
         }
     }
 
@@ -117,6 +170,7 @@ impl XView<'_> {
         match self {
             XView::Plain(s) => s.len(),
             XView::Atomic(a) => a.len(),
+            XView::Staged(h) => h.len(),
         }
     }
 
@@ -166,6 +220,25 @@ mod tests {
         v.reset_from(&[9.0]);
         assert_eq!(v.len(), 1);
         assert_eq!(v.get(0), 9.0);
+    }
+
+    #[test]
+    fn staged_view_routes_own_rows_live_and_remote_rows_staged() {
+        let live = AtomicF64Vec::from_slice(&[10.0, 11.0, 12.0, 13.0]);
+        let stage = AtomicF64Vec::from_slice(&[0.0, 1.0, 2.0, 3.0]);
+        let h = HaloView::new(&live, &stage, 1, 3);
+        let v = XView::Staged(h);
+        assert_eq!(v.get(0), 0.0, "remote row reads the stage");
+        assert_eq!(v.get(1), 11.0, "own row reads live");
+        assert_eq!(v.get(2), 12.0);
+        assert_eq!(v.get(3), 3.0);
+        assert_eq!(v.len(), 4);
+        // Live writes to own rows are visible immediately; live writes to
+        // remote rows are not (until a refresh copies them over).
+        live.set(2, 99.0);
+        live.set(3, 99.0);
+        assert_eq!(v.get(2), 99.0);
+        assert_eq!(v.get(3), 3.0);
     }
 
     #[test]

@@ -157,6 +157,7 @@ impl BlockPlan {
             let mut max_local_width = 0usize;
             let mut nbr_seen = std::collections::BTreeSet::new();
 
+            #[allow(clippy::needless_range_loop)] // r is a global row id, not just an index
             for r in blk.start..blk.end {
                 let (cols, vals) = a.row(r);
                 nnz += cols.len();

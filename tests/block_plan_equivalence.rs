@@ -114,7 +114,7 @@ fn scratch_capacity_stabilises_after_first_pass() {
     let kernel = AsyncJacobiKernel::new(&a, &rhs, &p, 5, 1.0).unwrap();
     let x = pseudo_iterate(n, 3);
     let mut scratch = BlockScratch::new();
-    let mut out = vec![0.0; 13];
+    let mut out = [0.0; 13];
 
     let mut pass = |scratch: &mut BlockScratch| {
         for b in 0..kernel.n_blocks() {

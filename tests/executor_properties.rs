@@ -4,8 +4,12 @@
 //! serialisation, determinism, and value-equivalence at the fixed point.
 
 use block_async_relax::gpu::kernel::AllowAll;
+use block_async_relax::gpu::schedule::BlockSchedule;
 use block_async_relax::gpu::{BlockKernel, SimExecutor, SimOptions, XView};
-use block_async_relax::gpu::{RandomPermutation, RoundRobin};
+use block_async_relax::gpu::{
+    NoMonitor, PersistentExecutor, PersistentOptions, PersistentWorkspace, RandomPermutation,
+    RoundRobin,
+};
 use proptest::prelude::*;
 
 /// A linear test kernel: every component moves halfway to the average of
@@ -112,6 +116,52 @@ proptest! {
             trace.max_skew <= bound,
             "skew {} exceeds jitter bound {bound}",
             trace.max_skew
+        );
+    }
+
+    /// The persistent executor's invariants for arbitrary worker counts,
+    /// block layouts, lag windows and schedules: every block commits
+    /// exactly `rounds` updates, and the realised skew respects the
+    /// progress-floor lag gate's `max_round_lag + 1` bound.
+    #[test]
+    fn persistent_counts_exact_and_skew_lag_bounded(
+        workers in 1usize..6,
+        n in 4usize..48,
+        block in 1usize..12,
+        lag in 1usize..4,
+        sched_kind in 0u64..2,
+        seed in 0u64..1000,
+        rounds in 1usize..25,
+    ) {
+        let kernel = Averager { n, block: block.min(n), target: 1.0 };
+        let mut x = vec![0.0; n];
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: workers,
+            max_round_lag: lag,
+            ..PersistentOptions::default()
+        });
+        let mut sched: Box<dyn BlockSchedule> = match sched_kind {
+            0 => Box::new(RoundRobin),
+            _ => Box::new(RandomPermutation::new(seed)),
+        };
+        let mut ws = PersistentWorkspace::new();
+        let (trace, report) = exec.run(
+            &kernel,
+            &mut x,
+            rounds,
+            sched.as_mut(),
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+        );
+        prop_assert!(trace.updates_per_block.iter().all(|&c| c == rounds));
+        prop_assert_eq!(report.global_iterations, rounds);
+        prop_assert_eq!(trace.skipped_updates, 0);
+        prop_assert!(
+            trace.max_skew <= lag + 1,
+            "skew {} exceeds the lag bound {}",
+            trace.max_skew,
+            lag + 1
         );
     }
 

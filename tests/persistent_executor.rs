@@ -117,6 +117,44 @@ fn stop_flag_halts_workers_before_the_round_budget() {
     assert!(rel_residual(&a, &rhs, &x) <= 1e-2, "stopped before the tolerance was met");
 }
 
+/// Satellite regression for the dead-`max_skew` bug: the persistent path
+/// must measure real skew (more than one block and worker guarantees a
+/// non-zero spread), and its progress-floor lag gate must keep it within
+/// `max_round_lag + 1`.
+#[test]
+fn persistent_run_reports_bounded_nonzero_skew() {
+    let a = laplacian_2d_5pt(8); // n = 64
+    let n = a.n_rows();
+    let rhs = a.mul_vec(&vec![1.0; n]).expect("square");
+    let p = RowPartition::uniform(n, 8).expect("partition");
+    let kernel = AsyncJacobiKernel::new(&a, &rhs, &p, 5, 1.0).expect("diag dominant");
+    for lag in [1usize, 2] {
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 4,
+            max_round_lag: lag,
+            ..PersistentOptions::default()
+        });
+        let mut ws = PersistentWorkspace::new();
+        let mut x = vec![0.0; n];
+        let (trace, _) = exec.run(
+            &kernel,
+            &mut x,
+            50,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+        );
+        assert!(trace.max_skew > 0, "a multi-worker run cannot report zero skew");
+        assert!(
+            trace.max_skew <= lag + 1,
+            "skew {} exceeds max_round_lag bound {}",
+            trace.max_skew,
+            lag + 1
+        );
+    }
+}
+
 /// A kernel that records which OS thread ran each block update, to prove
 /// the executor spawns each worker exactly once (no per-chunk respawn).
 struct ThreadProbe {
