@@ -25,15 +25,16 @@
 //! more per exchange also refreshes less often per round of compute — a
 //! continuous pipelined-exchange model of the paper's implementation.
 //!
-//! Refreshes are elected by CAS: the first worker of a device to cross an
-//! epoch boundary wins the right to copy, everyone else keeps iterating —
+//! Refreshes are elected by an atomic `fetch_max` raise of the device's
+//! epoch: the worker that raises it to a new value wins the right to
+//! copy, everyone else keeps iterating —
 //! there is no barrier anywhere, and readers may observe a half-copied
 //! stage (mixed epochs), exactly the racy view an asynchronous DMA gives
 //! the paper's kernels.
 
 use crate::timing::CommStrategy;
 use crate::xview::{AtomicF64Vec, HaloView};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use abr_sync::{Ordering, SyncUsize};
 
 /// The staged-halo state for one multi-device run: one full-length stage
 /// per device (plus a host stage for AMC), refreshed on the strategy's
@@ -51,18 +52,19 @@ pub struct HaloExchange {
     stages: Vec<AtomicF64Vec>,
     /// The AMC host staging buffer (empty for DC).
     host_stage: AtomicF64Vec,
-    /// Last epoch each device's stage was refreshed for (CAS-elected).
-    device_epoch: Vec<AtomicUsize>,
+    /// Last epoch each device's stage was refreshed for (the refresher is
+    /// elected by an atomic `fetch_max` raise).
+    device_epoch: Vec<SyncUsize>,
     /// Last epoch the host stage was refreshed for (AMC only).
-    host_epoch: AtomicUsize,
+    host_epoch: SyncUsize,
     /// Global-iteration watermark at which each device's stage content
     /// was captured from the live iterate — the freshness stamp staleness
     /// accounting reads.
-    stage_stamp: Vec<AtomicUsize>,
+    stage_stamp: Vec<SyncUsize>,
     /// Watermark of the host stage's content (AMC only).
-    host_stamp: AtomicUsize,
+    host_stamp: SyncUsize,
     /// Total stage refreshes performed (device + host copies).
-    refreshes: AtomicUsize,
+    refreshes: SyncUsize,
 }
 
 impl HaloExchange {
@@ -95,11 +97,11 @@ impl HaloExchange {
             } else {
                 AtomicF64Vec::new()
             },
-            device_epoch: (0..g).map(|_| AtomicUsize::new(0)).collect(),
-            host_epoch: AtomicUsize::new(0),
-            stage_stamp: (0..g).map(|_| AtomicUsize::new(0)).collect(),
-            host_stamp: AtomicUsize::new(0),
-            refreshes: AtomicUsize::new(0),
+            device_epoch: (0..g).map(|_| SyncUsize::new(0)).collect(),
+            host_epoch: SyncUsize::new(0),
+            stage_stamp: (0..g).map(|_| SyncUsize::new(0)).collect(),
+            host_stamp: SyncUsize::new(0),
+            refreshes: SyncUsize::new(0),
         })
     }
 
@@ -125,11 +127,13 @@ impl HaloExchange {
 
     /// The watermark stamp of device `d`'s current stage content.
     pub fn stage_stamp(&self, d: usize) -> usize {
+        // sync: racy freshness estimate; see `maybe_refresh`.
         self.stage_stamp[d].load(Ordering::Relaxed)
     }
 
     /// Total stage refreshes performed so far.
     pub fn refreshes(&self) -> usize {
+        // sync: statistics counter, read after the run.
         self.refreshes.load(Ordering::Relaxed)
     }
 
@@ -154,12 +158,18 @@ impl HaloExchange {
         if target == 0 {
             return; // the initial stage covers epoch 0
         }
-        let cur = self.device_epoch[d].load(Ordering::Relaxed);
-        if cur >= target
-            || self.device_epoch[d]
-                .compare_exchange(cur, target, Ordering::Relaxed, Ordering::Relaxed)
-                .is_err()
-        {
+        // Election by fetch_max raise: whoever *raises* the epoch to a
+        // new value wins the refresh; anyone who observes it already
+        // there loses. A separate load-then-CAS could act on a stale
+        // `cur` and bail even though nobody had claimed `target` yet —
+        // silently skipping a refresh this worker was owed. fetch_max
+        // has no such window: exactly one worker sees `prev < target`
+        // per raise (checked by tests/model_halo_election.rs).
+        // sync: Relaxed — the election only needs RMW atomicity; stage
+        // content is *allowed* to be observed mixed-epoch (a racy DMA
+        // view), so no release/acquire pairing is wanted here.
+        let prev = self.device_epoch[d].fetch_max(target, Ordering::Relaxed);
+        if prev >= target {
             return; // up to date, or another worker won the election
         }
         match self.strategy {
@@ -168,31 +178,37 @@ impl HaloExchange {
                 // epoch's push left in host memory — remote data crosses
                 // two hops, so it arrives one epoch later than under DC.
                 self.copy_remote_rows(&self.host_stage, d);
-                self.stage_stamp[d]
-                    .store(self.host_stamp.load(Ordering::Relaxed), Ordering::Relaxed);
+                // sync: racy stamp propagation — the stamp is a
+                // freshness *estimate* for staleness accounting, and a
+                // stale read only under-reports freshness (the AMC bound
+                // checked in model tests is one-sided).
+                let pulled = self.host_stamp.load(Ordering::Relaxed);
+                // sync: stamp store needs no ordering; readers treat it
+                // as an independent monotone estimate.
+                self.stage_stamp[d].store(pulled, Ordering::Relaxed);
                 // Push: elect one device per epoch to refresh the host
-                // stage from the live iterate for the *next* pull.
-                let hcur = self.host_epoch.load(Ordering::Relaxed);
-                if hcur < target
-                    && self
-                        .host_epoch
-                        .compare_exchange(hcur, target, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                {
+                // stage from the live iterate for the *next* pull —
+                // fetch_max election, same reasoning as the device epoch.
+                // sync: Relaxed — RMW atomicity alone decides the winner.
+                if self.host_epoch.fetch_max(target, Ordering::Relaxed) < target {
                     for i in 0..live.len() {
                         self.host_stage.set(i, live.get(i));
                     }
+                    // sync: freshness estimate only (see pull side).
                     self.host_stamp.store(watermark, Ordering::Relaxed);
+                    // sync: statistics counter, read after the run.
                     self.refreshes.fetch_add(1, Ordering::Relaxed);
                 }
             }
             CommStrategy::Dc => {
                 // One GPU-direct hop: bulk-copy the live remote slices.
                 self.copy_remote_rows(live, d);
+                // sync: freshness estimate only (see AMC pull side).
                 self.stage_stamp[d].store(watermark, Ordering::Relaxed);
             }
             CommStrategy::Dk => unreachable!("DK has no halo stage"),
         }
+        // sync: statistics counter, read after the run.
         self.refreshes.fetch_add(1, Ordering::Relaxed);
     }
 

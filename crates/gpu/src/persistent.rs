@@ -22,9 +22,10 @@
 //! * **The host is the monitor.** The calling thread plays the paper's
 //!   host: it snapshots the live [`AtomicF64Vec`] into a reused buffer,
 //!   runs an arbitrary [`ConvergenceMonitor`] check against it *while the
-//!   workers keep iterating*, and raises a relaxed [`AtomicBool`] stop
-//!   flag when the check fires — recording the global-iteration watermark
-//!   at which it did, so iteration counts stay meaningful.
+//!   workers keep iterating*, and raises an atomic stop flag when the
+//!   check fires — a Release store paired with the workers' Acquire
+//!   loads, so the global-iteration watermark recorded at the stop is
+//!   coherent with what the stopping workers observe.
 //!
 //! Results are non-deterministic run to run, exactly like the chunked
 //! threaded executor; the discrete-event simulator remains the
@@ -36,8 +37,8 @@ use crate::schedule::BlockSchedule;
 use crate::threaded::acquire_block_flag;
 use crate::trace::{SkewTracker, StalenessHistogram, UpdateTrace};
 use crate::xview::{AtomicF64Vec, XView};
+use abr_sync::{Ordering, SyncBool, SyncUsize};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// An explicit contiguous shard partition of the block set: shard `s`
@@ -172,11 +173,11 @@ pub struct PersistentWorkspace {
     shard_tickets: Vec<Vec<u32>>,
     /// The sharded round counters: ticket `t` of shard `s` is round
     /// `t / shard_len[s]`, block `shard_tickets[s][t % cycle_len]`.
-    shard_next: Vec<AtomicUsize>,
+    shard_next: Vec<SyncUsize>,
     shard_len: Vec<usize>,
     shard_total: Vec<usize>,
-    counts: Vec<AtomicUsize>,
-    in_flight: Vec<AtomicBool>,
+    counts: Vec<SyncUsize>,
+    in_flight: Vec<SyncBool>,
     order_buf: Vec<usize>,
     block_shard: Vec<u32>,
     cycle_rounds: usize,
@@ -257,22 +258,22 @@ impl PersistentWorkspace {
         }
 
         if self.shard_next.len() != n_shards {
-            self.shard_next.resize_with(n_shards, || AtomicUsize::new(0));
+            self.shard_next.resize_with(n_shards, || SyncUsize::new(0));
         }
         for c in &mut self.shard_next {
-            *c.get_mut() = 0;
+            c.set_exclusive(0);
         }
         if self.counts.len() != nb {
-            self.counts.resize_with(nb, || AtomicUsize::new(0));
+            self.counts.resize_with(nb, || SyncUsize::new(0));
         }
         for c in &mut self.counts {
-            *c.get_mut() = 0;
+            c.set_exclusive(0);
         }
         if self.in_flight.len() != nb {
-            self.in_flight.resize_with(nb, || AtomicBool::new(false));
+            self.in_flight.resize_with(nb, || SyncBool::new(false));
         }
         for f in &mut self.in_flight {
-            *f.get_mut() = false;
+            f.set_exclusive(false);
         }
     }
 }
@@ -398,10 +399,10 @@ impl PersistentExecutor {
             ..
         } = *ws;
 
-        let stop = AtomicBool::new(false);
-        let active = AtomicUsize::new(n_workers);
-        let skipped = AtomicUsize::new(0);
-        let stolen = AtomicUsize::new(0);
+        let stop = SyncBool::new(false);
+        let active = SyncUsize::new(n_workers);
+        let skipped = SyncUsize::new(0);
+        let stolen = SyncUsize::new(0);
         let lag = self.opts.max_round_lag;
         // The concurrent count-of-counts watermark (allocated here, at
         // solve start). Its floor — the minimum per-block *progress*
@@ -442,9 +443,17 @@ impl PersistentExecutor {
                     let mut out: Vec<f64> = Vec::new();
                     let mut scratch = BlockScratch::new();
                     let mut stale_local = StalenessHistogram::default();
-                    'work: while !stop.load(Ordering::Relaxed) {
+                    // sync: Acquire pairs with the monitor's Release
+                    // store — a worker that observes stop=true also
+                    // observes everything the monitor did before raising
+                    // it (in particular its recorded stop watermark), so
+                    // `stopped_at` is coherent with worker-visible stop.
+                    'work: while !stop.load(Ordering::Acquire) {
                         let mut exhausted = true;
                         for s in 0..n_shards {
+                            // sync: advisory emptiness probe; the draw
+                            // below revalidates with a CAS, so a stale
+                            // read only costs one extra pass.
                             if next[s].load(Ordering::Relaxed) < shard_total[s] {
                                 exhausted = false;
                                 break;
@@ -462,18 +471,42 @@ impl PersistentExecutor {
                         // load.
                         let floor = skew.floor();
                         // Draw a ticket: home shard first, then steal in
-                        // ring order from the eligible others.
+                        // ring order from the eligible others. The draw
+                        // is a gate-validated CAS, not a fetch_add: the
+                        // ticket taken is exactly the one the bounds
+                        // check inspected. (A fetch_add after a separate
+                        // gate check can overshoot — racing workers each
+                        // validate the same `seen` and then draw
+                        // *different* tickets, some past the lag window,
+                        // which is precisely the `max_skew` bound leak
+                        // the model explorer catches.)
                         let mut drawn = None;
-                        for probe in 0..n_shards {
+                        'probe: for probe in 0..n_shards {
                             let s = (home + probe) % n_shards;
-                            let seen = next[s].load(Ordering::Relaxed);
-                            if seen >= shard_total[s] || seen / shard_len[s] > floor + lag {
-                                continue;
-                            }
-                            let t = next[s].fetch_add(1, Ordering::Relaxed);
-                            if t < shard_total[s] {
-                                drawn = Some((s, t, probe != 0));
-                                break;
+                            // sync: Relaxed snapshot to seed the CAS loop
+                            // — staleness only costs a CAS retry.
+                            let mut seen = next[s].load(Ordering::Relaxed);
+                            loop {
+                                if seen >= shard_total[s] || seen / shard_len[s] > floor + lag {
+                                    continue 'probe;
+                                }
+                                // sync: Relaxed CAS — the counter is a
+                                // pure ticket dispenser; the gate bound is
+                                // sound against a stale progress floor
+                                // because the floor is monotone and read
+                                // conservatively low.
+                                match next[s].compare_exchange_weak(
+                                    seen,
+                                    seen + 1,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => {
+                                        drawn = Some((s, seen, probe != 0));
+                                        break 'probe;
+                                    }
+                                    Err(cur) => seen = cur,
+                                }
                             }
                         }
                         let Some((s, t, was_stolen)) = drawn else {
@@ -487,6 +520,7 @@ impl PersistentExecutor {
                         let round = t / m;
                         let block = tickets[s][t % (cycle_rounds * m)] as usize;
                         if was_stolen {
+                            // sync: statistics counter, read after join.
                             stolen.fetch_add(1, Ordering::Relaxed);
                         }
                         if let Some(h) = halo {
@@ -501,12 +535,19 @@ impl PersistentExecutor {
                             // when read live, the stage's freshness stamp
                             // when it comes through the halo.
                             if let Some(nbrs) = kernel.neighbor_blocks(block) {
+                                // sync: own count is only ever advanced
+                                // under this block's in-flight flag, which
+                                // we hold — the Relaxed read is exact.
                                 let own = counts[block].load(Ordering::Relaxed) as i64;
                                 for &j in nbrs {
                                     let read = match halo {
                                         Some(h) if block_shard[j] as usize != s => {
                                             h.stage_stamp(s) as i64
                                         }
+                                        // sync: deliberately racy neighbour
+                                        // progress sample — staleness here
+                                        // is the quantity being *measured*
+                                        // (Eq. 3), not a bug to order away.
                                         _ => counts[j].load(Ordering::Relaxed) as i64,
                                     };
                                     stale_local.record(own - read);
@@ -526,9 +567,16 @@ impl PersistentExecutor {
                                     xa.set(bs + k, v);
                                 }
                             }
+                            // sync: Relaxed is safe under the held
+                            // in-flight flag; cross-thread readers only
+                            // use the count as a staleness sample.
                             counts[block].fetch_add(1, Ordering::Relaxed);
+                            // sync: Release publishes this block's
+                            // component writes and count bump to the next
+                            // worker that Acquire-wins the flag.
                             in_flight[block].store(false, Ordering::Release);
                         } else {
+                            // sync: statistics counter, read after join.
                             skipped.fetch_add(1, Ordering::Relaxed);
                         }
                         skew.on_progress(block);
@@ -536,6 +584,9 @@ impl PersistentExecutor {
                     if stale_local.total() > 0 {
                         stale_sink.lock().merge(&stale_local);
                     }
+                    // sync: Release pairs with the monitor's Acquire load
+                    // — "active == 0" proves every worker's final writes
+                    // are visible before the monitor loop exits.
                     active.fetch_sub(1, Ordering::Release);
                 });
             }
@@ -559,10 +610,15 @@ impl PersistentExecutor {
             let mut per_round = base_pause;
             let mut idle_pause = base_pause;
             loop {
+                // sync: Acquire pairs with each worker's Release
+                // decrement; zero means all worker writes are visible.
                 if active.load(Ordering::Acquire) == 0 {
                     break;
                 }
-                if period > 0 && !stop.load(Ordering::Relaxed) {
+                // sync: Acquire matches the flag's Release store (it is
+                // this thread's own store, but the facade audit keeps the
+                // flag's declared discipline uniform at every site).
+                if period > 0 && !stop.load(Ordering::Acquire) {
                     // Watermark = dispatched rounds, not committed
                     // updates: O(n_shards) per poll, and it keeps
                     // advancing past blocks an [`UpdateFilter`] has
@@ -570,6 +626,10 @@ impl PersistentExecutor {
                     // never stall behind a dead block.
                     let watermark = (0..n_shards)
                         .map(|s| {
+                            // sync: racy progress sample; the counter is
+                            // monotone so a stale read only under-reports
+                            // the watermark (checks fire late, never on
+                            // future state).
                             next[s].load(Ordering::Relaxed).min(shard_total[s]) / shard_len[s]
                         })
                         .min()
@@ -590,7 +650,12 @@ impl PersistentExecutor {
                         report.checks += 1;
                         if monitor.check(watermark, snap) {
                             report.stopped_at = Some(watermark);
-                            stop.store(true, Ordering::Relaxed);
+                            // sync: Release publishes the recorded stop
+                            // watermark (the line above) to any worker
+                            // that Acquire-observes the flag — the
+                            // stop-watermark coherence invariant checked
+                            // by tests/model_stop_watermark.rs.
+                            stop.store(true, Ordering::Release);
                         } else {
                             next_check = watermark.saturating_add(period);
                         }
@@ -615,12 +680,16 @@ impl PersistentExecutor {
         });
 
         trace.elapsed = started.elapsed().as_secs_f64();
+        // sync: the thread scope has joined every worker — these Relaxed
+        // reads are ordered by the join edges and therefore exact.
         trace.updates_per_block = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        // sync: post-join read (see above).
         trace.skipped_updates = skipped.load(Ordering::Relaxed);
         trace.max_skew = skew.max_skew();
         trace.staleness = stale_sink.into_inner();
         report.global_iterations =
             trace.updates_per_block.iter().copied().min().unwrap_or(0);
+        // sync: post-join read (see above).
         report.stolen_updates = stolen.load(Ordering::Relaxed);
         report.halo_refreshes = halo.map_or(0, |h| h.refreshes());
         xa.copy_into(x);

@@ -14,8 +14,8 @@ use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
 use crate::schedule::{flatten_schedule, BlockSchedule};
 use crate::trace::{SkewTracker, UpdateTrace};
 use crate::xview::{AtomicF64Vec, XView};
+use abr_sync::{Ordering, SyncBool, SyncUsize};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// How many failed acquisition attempts to spin before falling back to
@@ -31,8 +31,12 @@ const SPIN_LIMIT: u32 = 64;
 /// executor ([`crate::persistent`]) — both serialise the updates of one
 /// block through exactly this protocol.
 #[inline]
-pub(crate) fn acquire_block_flag(flag: &AtomicBool) {
+pub(crate) fn acquire_block_flag(flag: &SyncBool) {
     let mut attempts = 0u32;
+    // sync: Acquire on success pairs with the releasing store that frees
+    // the flag — winning the flag makes the previous holder's block
+    // writes and count bump visible. Relaxed on failure: a losing
+    // attempt publishes nothing and acts on nothing.
     while flag
         .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
         .is_err()
@@ -98,16 +102,16 @@ impl ThreadedExecutor {
         }
         let tickets = flatten_schedule(schedule, nb, rounds);
         let x = AtomicF64Vec::from_slice(x0);
-        let next = AtomicUsize::new(0);
-        let counts: Vec<AtomicUsize> = (0..nb).map(|_| AtomicUsize::new(0)).collect();
+        let next = SyncUsize::new(0);
+        let counts: Vec<SyncUsize> = (0..nb).map(|_| SyncUsize::new(0)).collect();
         // Prevents two workers updating the same block concurrently,
         // which bounds how far one block's committed updates can reorder
         // (on the hardware, a block's updates are consecutive kernels of
         // one stream). Note this is mutual exclusion, not strict ticket
         // order: a later ticket can occasionally commit first, which is
         // just one more admissible chaotic ordering.
-        let in_flight: Vec<AtomicBool> = (0..nb).map(|_| AtomicBool::new(false)).collect();
-        let skipped = AtomicUsize::new(0);
+        let in_flight: Vec<SyncBool> = (0..nb).map(|_| SyncBool::new(false)).collect();
+        let skipped = SyncUsize::new(0);
         // Count-of-counts watermark: every processed ticket (commit or
         // filtered skip) is progress, so the reported `max_skew` measures
         // how far the chaotic interleaving actually spread the blocks —
@@ -126,6 +130,9 @@ impl ThreadedExecutor {
                     let mut out: Vec<f64> = Vec::new();
                     let mut scratch = BlockScratch::new();
                     loop {
+                        // sync: pure ticket dispenser — each ticket is
+                        // handed out exactly once by RMW atomicity, and
+                        // no other memory hangs off the ticket value.
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= tickets.len() {
                             break;
@@ -143,9 +150,14 @@ impl ThreadedExecutor {
                                     x.set(s + k, v);
                                 }
                             }
+                            // sync: Relaxed is safe under the held
+                            // in-flight flag (no concurrent writer).
                             counts[block].fetch_add(1, Ordering::Relaxed);
+                            // sync: Release publishes this block's writes
+                            // to the next Acquire-winner of the flag.
                             in_flight[block].store(false, Ordering::Release);
                         } else {
+                            // sync: statistics counter, read after join.
                             skipped.fetch_add(1, Ordering::Relaxed);
                         }
                         skew.on_progress(block);
@@ -158,8 +170,11 @@ impl ThreadedExecutor {
         });
 
         trace.elapsed = started.elapsed().as_secs_f64();
+        // sync: the thread scope has joined every worker — these Relaxed
+        // reads are ordered by the join edges and therefore exact.
         trace.updates_per_block =
             counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        // sync: post-join read (see above).
         trace.skipped_updates = skipped.load(Ordering::Relaxed);
         trace.max_skew = skew.max_skew();
         let mut snaps = snapshots.into_inner();

@@ -1,9 +1,9 @@
 //! Execution traces: what the executor actually did — including the
 //! *realised* shift function of the paper's Eq. (3).
 
+use abr_sync::{Ordering, SyncUsize};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Histogram of realised read staleness: for each block update at its own
 /// round `r`, reading a neighbour block that had completed `c` updates
@@ -92,7 +92,7 @@ pub struct SkewTracker {
     inner: Mutex<SkewInner>,
     /// Relaxed mirror of the histogram minimum, for lock-free reads on
     /// the dispatch path.
-    floor: AtomicUsize,
+    floor: SyncUsize,
 }
 
 #[derive(Debug)]
@@ -116,36 +116,53 @@ impl SkewTracker {
                 max_count: 0,
                 max_skew: 0,
             }),
-            floor: AtomicUsize::new(0),
+            floor: SyncUsize::new(0),
         }
     }
 
     /// Records one processed dispatch of `block` (commit or skip).
     pub fn on_progress(&self, block: usize) {
-        let mut g = self.inner.lock();
-        let old = g.progress[block];
-        g.progress[block] = old + 1;
-        g.hist[old] -= 1;
-        if g.hist.len() == old + 1 {
-            g.hist.push(0);
+        let new_floor;
+        {
+            let mut g = self.inner.lock();
+            let old = g.progress[block];
+            g.progress[block] = old + 1;
+            g.hist[old] -= 1;
+            if g.hist.len() == old + 1 {
+                g.hist.push(0);
+            }
+            g.hist[old + 1] += 1;
+            if old + 1 > g.max_count {
+                g.max_count = old + 1;
+            }
+            new_floor = if old == g.min_count && g.hist[old] == 0 {
+                g.min_count += 1;
+                Some(g.min_count)
+            } else {
+                None
+            };
+            let skew = g.max_count - g.min_count;
+            if skew > g.max_skew {
+                g.max_skew = skew;
+            }
         }
-        g.hist[old + 1] += 1;
-        if old + 1 > g.max_count {
-            g.max_count = old + 1;
-        }
-        if old == g.min_count && g.hist[old] == 0 {
-            g.min_count += 1;
-            self.floor.store(g.min_count, Ordering::Relaxed);
-        }
-        let skew = g.max_count - g.min_count;
-        if skew > g.max_skew {
-            g.max_skew = skew;
+        if let Some(f) = new_floor {
+            // sync: published *outside* the lock — under the model
+            // runtime every facade op is a schedule point and must never
+            // run with a lock held. Relaxed fetch_max is sound here:
+            // the floor is monotone, racing publications keep the
+            // largest, and a reader seeing a lagging mirror only makes
+            // the lag gate *more* conservative (never admits a dispatch
+            // the true floor would reject).
+            self.floor.fetch_max(f, Ordering::Relaxed);
         }
     }
 
     /// The current progress floor (minimum over blocks), relaxed.
     #[inline]
     pub fn floor(&self) -> usize {
+        // sync: conservative-low racy read of a monotone mirror; see
+        // the publication comment in `on_progress`.
         self.floor.load(Ordering::Relaxed)
     }
 

@@ -5,7 +5,7 @@
 //! threads — but the numerical kernels only ever *read* components.
 //! [`XView`] gives them a single read interface over both.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use abr_sync::{Ordering, SyncU64};
 
 /// A shared vector of `f64` values stored as atomic bit patterns, so
 /// multiple threads may read and write components without locks. All
@@ -15,14 +15,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// algorithm — only the final join synchronises.
 #[derive(Debug)]
 pub struct AtomicF64Vec {
-    data: Vec<AtomicU64>,
+    data: Vec<SyncU64>,
 }
 
 impl AtomicF64Vec {
     /// Creates from initial values.
     pub fn from_slice(values: &[f64]) -> Self {
         AtomicF64Vec {
-            data: values.iter().map(|&v| AtomicU64::new(v.to_bits())).collect(),
+            data: values.iter().map(|&v| SyncU64::new(v.to_bits())).collect(),
         }
     }
 
@@ -32,24 +32,43 @@ impl AtomicF64Vec {
     }
 
     /// Reloads the vector with `values`, reusing the existing storage
-    /// when the length matches (exclusive access — no atomic traffic).
-    /// This is what lets a persistent-executor workspace be reused across
-    /// solves without reallocating the shared iterate.
+    /// when the length matches. This is what lets a persistent-executor
+    /// workspace be reused across solves without reallocating the shared
+    /// iterate.
+    ///
+    /// **Epoch semantics** (in the `abr_sync` model's terms): the writes
+    /// go through the exclusive borrow, so there is no atomic traffic
+    /// and no concurrent reader — each component's modification history
+    /// is *discarded* and restarts at the new value as a fresh epoch 0.
+    /// After `reset_from` returns, every reader (once it can reach the
+    /// vector at all, which requires an ordinary happens-after edge such
+    /// as a thread spawn) observes the reset values exactly: no read can
+    /// mix pre-reset epochs into a post-reset view, because the old
+    /// history no longer exists.
     pub fn reset_from(&mut self, values: &[f64]) {
         if self.data.len() == values.len() {
             for (a, &v) in self.data.iter_mut().zip(values) {
-                *a.get_mut() = v.to_bits();
+                a.set_exclusive(v.to_bits());
             }
         } else {
             self.data.clear();
-            self.data.extend(values.iter().map(|&v| AtomicU64::new(v.to_bits())));
+            self.data.extend(values.iter().map(|&v| SyncU64::new(v.to_bits())));
         }
     }
 
-    /// Copies the current state into `out` without allocating (each
-    /// component read atomically; the whole may mix epochs exactly as
-    /// [`snapshot`](Self::snapshot) does). `out` must have the same
-    /// length.
+    /// Copies the current state into `out` without allocating. `out`
+    /// must have the same length.
+    ///
+    /// **Epoch semantics** (in the `abr_sync` model's terms): each
+    /// component is one `Relaxed` atomic load — individually untorn, but
+    /// the copy as a whole is *not* an atomic snapshot. Component `i`
+    /// may deliver any epoch from the caller's coherence floor up to the
+    /// latest, independently per component, so the result can mix epochs
+    /// across components exactly as [`snapshot`](Self::snapshot) does —
+    /// the view an asynchronous observer (the paper's host-side monitor)
+    /// gets by design. Call it after joining the writers (as the
+    /// executors do for the final iterate) and the join edges force
+    /// every component to its latest epoch, making the copy exact.
     pub fn copy_into(&self, out: &mut [f64]) {
         assert_eq!(out.len(), self.len(), "copy_into: length mismatch");
         for (i, o) in out.iter_mut().enumerate() {
@@ -70,12 +89,18 @@ impl AtomicF64Vec {
     /// Reads component `i` (relaxed).
     #[inline]
     pub fn get(&self, i: usize) -> f64 {
+        // sync: stale iterate reads are the algorithm's contract (paper
+        // Eq. 3) — the asynchronous iteration converges under any
+        // bounded staleness, so no edge is needed or wanted.
         f64::from_bits(self.data[i].load(Ordering::Relaxed))
     }
 
     /// Writes component `i` (relaxed).
     #[inline]
     pub fn set(&self, i: usize, v: f64) {
+        // sync: component publication needs only untorn atomicity; when
+        // cross-block visibility order matters (block hand-off) the
+        // in-flight flag's Release/Acquire pair provides it.
         self.data[i].store(v.to_bits(), Ordering::Relaxed);
     }
 

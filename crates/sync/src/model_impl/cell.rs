@@ -1,0 +1,228 @@
+//! Per-cell weak-memory state and the operation semantics shared by all
+//! facade types (which store their payloads as `u64` bits).
+//!
+//! Outside an exploration context every operation falls through to the
+//! backing `std` atomic, so model-feature builds behave exactly like
+//! passthrough builds for ordinary tests. Inside an exploration, every
+//! operation is a schedule point: it waits for the scheduler baton,
+//! lets the policy pick the next runnable virtual thread (and, for
+//! loads, the history entry to read), applies the view/history rules
+//! documented on the crate root, records an [`Event`](super::rt::Event),
+//! and mirrors the latest value into the backing atomic.
+
+use super::rt::{self, Event, OpKind};
+use crate::Ordering;
+use std::panic::Location;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Mutex, OnceLock};
+
+/// One entry in a cell's modification order.
+struct Entry {
+    value: u64,
+    /// The writer's view snapshot for release writes (what an acquire
+    /// read of this entry synchronizes with); `None` for relaxed writes.
+    view: Option<rt::View>,
+}
+
+struct Hist {
+    /// Which exploration run this history belongs to; a mismatch means
+    /// the cell outlived a previous run and must be re-seeded from the
+    /// real value.
+    run_id: u64,
+    entries: Vec<Entry>,
+}
+
+/// Global dispenser of stable cell identities.
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The shared state behind every facade type in model builds.
+pub(crate) struct ModelCell {
+    /// Always mirrors the latest history entry, and is the sole storage
+    /// outside explorations (passthrough behaviour).
+    real: AtomicU64,
+    id: OnceLock<u64>,
+    hist: Mutex<Option<Hist>>,
+}
+
+impl std::fmt::Debug for ModelCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // sync: debug printing only; the freshest mirrored value is all
+        // we want and no ordering with other cells is implied.
+        f.debug_struct("ModelCell").field("value", &self.real.load(Ordering::Relaxed)).finish()
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn merge_view(into: &mut rt::View, from: &rt::View) {
+    for (&cell, &floor) in from {
+        let e = into.entry(cell).or_insert(0);
+        *e = (*e).max(floor);
+    }
+}
+
+impl ModelCell {
+    pub(crate) fn new(bits: u64) -> Self {
+        ModelCell { real: AtomicU64::new(bits), id: OnceLock::new(), hist: Mutex::new(None) }
+    }
+
+    fn id(&self) -> u64 {
+        // sync: unique-id dispensing only; the id value carries no
+        // cross-thread protocol.
+        *self.id.get_or_init(|| NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Runs `f` with this cell's history for the current run (seeding or
+    /// re-seeding it from the mirrored value when absent or left over
+    /// from an earlier run).
+    fn with_hist<R>(&self, run_id: u64, f: impl FnOnce(&mut Hist) -> R) -> R {
+        let mut slot = self.hist.lock().unwrap_or_else(|p| p.into_inner());
+        let need_init = match slot.as_ref() {
+            Some(h) => h.run_id != run_id,
+            None => true,
+        };
+        if need_init {
+            // sync: seeding the model history; the mirror is only ever
+            // written under the scheduler baton or pre-exploration.
+            let seed = self.real.load(Ordering::Relaxed);
+            *slot = Some(Hist { run_id, entries: vec![Entry { value: seed, view: None }] });
+        }
+        f(slot.as_mut().expect("history just seeded"))
+    }
+
+    pub(crate) fn load(&self, ord: Ordering, site: &'static Location<'static>) -> u64 {
+        let Some((eng, me)) = rt::current_ctx() else {
+            return self.real.load(ord);
+        };
+        let id = self.id();
+        let mut g = eng.reschedule(me);
+        self.with_hist(eng.run_id, |h| {
+            let last = h.entries.len() - 1;
+            // Clamp: a floor can exceed the history length after a
+            // `set_exclusive` reset re-seeded the cell.
+            let floor = g.views[me].get(&id).copied().unwrap_or(0).min(last);
+            let idx = g.choose_read_index(me, id, floor, last);
+            let entry = &h.entries[idx];
+            // Coherence: this thread never travels back before `idx`.
+            g.views[me].insert(id, idx);
+            if is_acquire(ord) {
+                if let Some(v) = entry.view.clone() {
+                    merge_view(&mut g.views[me], &v);
+                }
+            }
+            let value = entry.value;
+            g.record(Event { site, thread: me, op: OpKind::Load, ordering: ord, cell: id, epoch: idx, value });
+            value
+        })
+    }
+
+    pub(crate) fn store(&self, bits: u64, ord: Ordering, site: &'static Location<'static>) {
+        let Some((eng, me)) = rt::current_ctx() else {
+            self.real.store(bits, ord);
+            return;
+        };
+        let id = self.id();
+        let mut g = eng.reschedule(me);
+        self.with_hist(eng.run_id, |h| {
+            let idx = h.entries.len();
+            g.views[me].insert(id, idx);
+            let view = if is_release(ord) { Some(g.views[me].clone()) } else { None };
+            h.entries.push(Entry { value: bits, view });
+            // sync: mirror write under the scheduler baton; ordering is
+            // modelled by the history, not by the mirror.
+            self.real.store(bits, Ordering::Relaxed);
+            g.record(Event { site, thread: me, op: OpKind::Store, ordering: ord, cell: id, epoch: idx, value: bits });
+        })
+    }
+
+    /// Shared read-modify-write core. `f` maps the current value to
+    /// `Some(new)` (commit) or `None` (fail, as in a compare-exchange
+    /// mismatch). Returns `Ok(previous)`/`Err(latest)` like std's CAS.
+    /// RMWs always read the modification-order tail, and a committed
+    /// write carries forward the release view of the entry it displaces
+    /// (release sequences survive intervening RMWs).
+    pub(crate) fn rmw(
+        &self,
+        success: Ordering,
+        failure: Ordering,
+        site: &'static Location<'static>,
+        real_op: impl FnOnce(&AtomicU64) -> Result<u64, u64>,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> Result<u64, u64> {
+        let Some((eng, me)) = rt::current_ctx() else {
+            return real_op(&self.real);
+        };
+        let id = self.id();
+        let mut g = eng.reschedule(me);
+        self.with_hist(eng.run_id, |h| {
+            let last = h.entries.len() - 1;
+            let old = h.entries[last].value;
+            match f(old) {
+                Some(new) => {
+                    if is_acquire(success) {
+                        if let Some(v) = h.entries[last].view.clone() {
+                            merge_view(&mut g.views[me], &v);
+                        }
+                    }
+                    let idx = h.entries.len();
+                    g.views[me].insert(id, idx);
+                    let mut carried = h.entries[last].view.clone();
+                    if is_release(success) {
+                        let mut v = g.views[me].clone();
+                        if let Some(prev) = &carried {
+                            merge_view(&mut v, prev);
+                        }
+                        carried = Some(v);
+                    }
+                    h.entries.push(Entry { value: new, view: carried });
+                    // sync: mirror write under the scheduler baton.
+                    self.real.store(new, Ordering::Relaxed);
+                    g.record(Event { site, thread: me, op: OpKind::Rmw, ordering: success, cell: id, epoch: idx, value: new });
+                    Ok(old)
+                }
+                None => {
+                    // A failed CAS still reads the latest entry.
+                    g.views[me].insert(id, last);
+                    if is_acquire(failure) {
+                        if let Some(v) = h.entries[last].view.clone() {
+                            merge_view(&mut g.views[me], &v);
+                        }
+                    }
+                    g.record(Event { site, thread: me, op: OpKind::CasFail, ordering: failure, cell: id, epoch: last, value: old });
+                    Err(old)
+                }
+            }
+        })
+    }
+
+    /// Non-atomic reset through an exclusive borrow: drops the recorded
+    /// history entirely (the borrow checker proves no concurrent
+    /// readers, so there is no modification order to preserve). The next
+    /// operation re-seeds a fresh single-entry history from this value;
+    /// stale per-thread floors are clamped on read.
+    pub(crate) fn set_exclusive(&mut self, bits: u64) {
+        *self.real.get_mut() = bits;
+        *self.hist.get_mut().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+}
+
+/// Model-mode fence: a schedule point recorded in the event log. No
+/// visibility edges are added — no protocol in this workspace relies on
+/// a fence, and a fence-free model is strictly more adversarial.
+#[track_caller]
+pub(crate) fn fence_impl(ord: Ordering) {
+    let site = Location::caller();
+    if let Some((eng, me)) = rt::current_ctx() {
+        let mut g = eng.reschedule(me);
+        g.record(Event { site, thread: me, op: OpKind::Fence, ordering: ord, cell: 0, epoch: 0, value: 0 });
+    } else {
+        std::sync::atomic::fence(ord);
+    }
+}

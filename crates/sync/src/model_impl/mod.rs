@@ -1,0 +1,277 @@
+//! Model-mode implementation of the facade: the same public API as the
+//! passthrough build (`real.rs`), with every operation routed through
+//! the instrumented weak-memory runtime in [`cell`]/[`rt`]. All methods
+//! are `#[track_caller]` so the event log records the *call site* in
+//! solver code, not the facade internals.
+
+mod cell;
+pub(crate) mod rt;
+
+use crate::Ordering;
+use cell::ModelCell;
+use std::panic::Location;
+
+/// An atomic memory fence. In model mode this is a recorded schedule
+/// point with no visibility edges (see [`crate`] docs).
+#[track_caller]
+pub fn fence(ord: Ordering) {
+    cell::fence_impl(ord);
+}
+
+fn b2u(v: bool) -> u64 {
+    v as u64
+}
+
+fn u2b(v: u64) -> bool {
+    v != 0
+}
+
+/// Facade over `AtomicBool` (model-instrumented build).
+#[derive(Debug)]
+pub struct SyncBool {
+    inner: ModelCell,
+}
+
+impl Default for SyncBool {
+    fn default() -> Self {
+        SyncBool::new(false)
+    }
+}
+
+impl SyncBool {
+    /// A new cell holding `v`.
+    pub fn new(v: bool) -> Self {
+        SyncBool { inner: ModelCell::new(b2u(v)) }
+    }
+
+    /// Atomic load.
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> bool {
+        u2b(self.inner.load(ord, Location::caller()))
+    }
+
+    /// Atomic store.
+    #[track_caller]
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.inner.store(b2u(v), ord, Location::caller());
+    }
+
+    /// Atomic compare-and-exchange.
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner
+            .rmw(
+                success,
+                failure,
+                Location::caller(),
+                |a| {
+                    a.compare_exchange(b2u(current), b2u(new), success, failure)
+                },
+                |old| if old == b2u(current) { Some(b2u(new)) } else { None },
+            )
+            .map(u2b)
+            .map_err(u2b)
+    }
+
+    /// Atomic compare-and-exchange, allowed to fail spuriously on real
+    /// hardware. The model never fails spuriously: a spurious failure is
+    /// a strict subset of the CAS-mismatch behaviour already explored.
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Non-atomic store through an exclusive borrow; resets the model
+    /// history (no concurrent readers can exist).
+    pub fn set_exclusive(&mut self, v: bool) {
+        self.inner.set_exclusive(b2u(v));
+    }
+}
+
+/// Facade over `AtomicU64` (model-instrumented build).
+#[derive(Debug)]
+pub struct SyncU64 {
+    inner: ModelCell,
+}
+
+impl Default for SyncU64 {
+    fn default() -> Self {
+        SyncU64::new(0)
+    }
+}
+
+impl SyncU64 {
+    /// A new cell holding `v`.
+    pub fn new(v: u64) -> Self {
+        SyncU64 { inner: ModelCell::new(v) }
+    }
+
+    /// Atomic load.
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.inner.load(ord, Location::caller())
+    }
+
+    /// Atomic store.
+    #[track_caller]
+    pub fn store(&self, v: u64, ord: Ordering) {
+        self.inner.store(v, ord, Location::caller());
+    }
+
+    /// Atomic add; returns the previous value.
+    #[track_caller]
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        self.inner
+            .rmw(ord, ord, Location::caller(), |a| Ok(a.fetch_add(v, ord)), |old| {
+                Some(old.wrapping_add(v))
+            })
+            .expect("fetch_add cannot fail")
+    }
+
+    /// Atomic maximum; returns the previous value.
+    #[track_caller]
+    pub fn fetch_max(&self, v: u64, ord: Ordering) -> u64 {
+        self.inner
+            .rmw(ord, ord, Location::caller(), |a| Ok(a.fetch_max(v, ord)), |old| {
+                Some(old.max(v))
+            })
+            .expect("fetch_max cannot fail")
+    }
+
+    /// Atomic compare-and-exchange.
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.inner.rmw(
+            success,
+            failure,
+            Location::caller(),
+            |a| a.compare_exchange(current, new, success, failure),
+            |old| if old == current { Some(new) } else { None },
+        )
+    }
+
+    /// Non-atomic store through an exclusive borrow; resets the model
+    /// history (no concurrent readers can exist).
+    pub fn set_exclusive(&mut self, v: u64) {
+        self.inner.set_exclusive(v);
+    }
+}
+
+/// Facade over `AtomicUsize` (model-instrumented build).
+#[derive(Debug)]
+pub struct SyncUsize {
+    inner: ModelCell,
+}
+
+impl Default for SyncUsize {
+    fn default() -> Self {
+        SyncUsize::new(0)
+    }
+}
+
+impl SyncUsize {
+    /// A new cell holding `v`.
+    pub fn new(v: usize) -> Self {
+        SyncUsize { inner: ModelCell::new(v as u64) }
+    }
+
+    /// Atomic load.
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.inner.load(ord, Location::caller()) as usize
+    }
+
+    /// Atomic store.
+    #[track_caller]
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.inner.store(v as u64, ord, Location::caller());
+    }
+
+    /// Atomic add; returns the previous value.
+    #[track_caller]
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.inner
+            .rmw(ord, ord, Location::caller(), |a| Ok(a.fetch_add(v as u64, ord)), |old| {
+                Some((old as usize).wrapping_add(v) as u64)
+            })
+            .expect("fetch_add cannot fail") as usize
+    }
+
+    /// Atomic subtract; returns the previous value.
+    #[track_caller]
+    pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        self.inner
+            .rmw(ord, ord, Location::caller(), |a| Ok(a.fetch_sub(v as u64, ord)), |old| {
+                Some((old as usize).wrapping_sub(v) as u64)
+            })
+            .expect("fetch_sub cannot fail") as usize
+    }
+
+    /// Atomic maximum; returns the previous value.
+    #[track_caller]
+    pub fn fetch_max(&self, v: usize, ord: Ordering) -> usize {
+        self.inner
+            .rmw(ord, ord, Location::caller(), |a| Ok(a.fetch_max(v as u64, ord)), |old| {
+                Some(old.max(v as u64))
+            })
+            .expect("fetch_max cannot fail") as usize
+    }
+
+    /// Atomic compare-and-exchange.
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.inner
+            .rmw(
+                success,
+                failure,
+                Location::caller(),
+                |a| a.compare_exchange(current as u64, new as u64, success, failure),
+                |old| if old == current as u64 { Some(new as u64) } else { None },
+            )
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+
+    /// Atomic compare-and-exchange, allowed to fail spuriously on real
+    /// hardware; never spurious in the model (see [`SyncBool`] note).
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(current, new, success, failure)
+    }
+
+    /// Non-atomic store through an exclusive borrow; resets the model
+    /// history (no concurrent readers can exist).
+    pub fn set_exclusive(&mut self, v: usize) {
+        self.inner.set_exclusive(v as u64);
+    }
+}

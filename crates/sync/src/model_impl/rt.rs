@@ -1,0 +1,695 @@
+//! The deterministic schedule explorer: virtual threads, a seeded (or
+//! bounded-preemption exhaustive) scheduler, per-thread visibility views,
+//! and the event log.
+//!
+//! ## How a run works
+//!
+//! [`explore_seeded`]/[`explore_exhaustive`] run a body closure once per
+//! schedule. The body executes as **virtual thread 0** on the calling OS
+//! thread; [`spawn`] creates further virtual threads (each backed by an
+//! OS thread that does nothing until scheduled). A single *baton*
+//! serializes execution: exactly one virtual thread runs at any instant,
+//! and the baton can change hands only at facade atomic operations — so
+//! given the same schedule decisions, a run is fully deterministic.
+//!
+//! At every facade operation the scheduler makes two kinds of decision:
+//! *which thread runs next* (a preemption, when it is not the current
+//! one) and — for relaxed-enough loads — *which history entry the read
+//! returns* (anything from the reader's coherence floor to the latest).
+//! The seeded policy draws both from a splitmix64 stream; the exhaustive
+//! policy enumerates the whole decision tree depth-first, bounding
+//! preemptions and capping stale-read choices to the two extremes
+//! (oldest-visible and latest). Both run under a fairness rule: a thread
+//! that has taken [`FAIR_LIMIT`] consecutive schedule points while
+//! others are runnable is forced to yield the baton (free of the
+//! preemption bound), so polling spin loops cannot starve the writers
+//! they are waiting on.
+//!
+//! Violations are ordinary panics inside the body or a spawned virtual
+//! thread (failed `assert!`s); the explorer catches them, aborts the
+//! schedule, and reports the schedule descriptor so the failure can be
+//! replayed.
+//!
+//! ## Contract for explored code
+//!
+//! * Share state between virtual threads only through the facade types
+//!   (or immutable data). Plain mutexes are tolerated, but a lock must
+//!   never be held **across** a facade operation — the baton may pass to
+//!   a thread that then blocks on the real lock, deadlocking the run.
+//!   (`SkewTracker::on_progress` publishes its floor *after* releasing
+//!   its histogram lock for exactly this reason.)
+//! * Bodies must be deterministic apart from scheduling: no wall-clock,
+//!   no OS randomness.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe, Location};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A thread's visibility view: for each cell id, the oldest history index
+/// the thread may still legally read (raised by its own reads/writes —
+/// coherence — and by acquire edges).
+pub(crate) type View = HashMap<u64, usize>;
+
+/// How many consecutive stale (non-latest) reads of one cell a thread may
+/// perform before the model forces the latest value — the finite-time
+/// visibility guarantee that keeps spin-wait loops terminating.
+const STALE_STREAK_LIMIT: u32 = 4;
+
+/// Fairness bound: after this many consecutive schedule points on one
+/// virtual thread while others are runnable, the baton is *forced* to a
+/// different thread. Without it, a spin loop (a monitor polling counters
+/// another thread must advance) can hold the baton forever — in the
+/// exhaustive mode's base schedule ("never switch") it *always* would,
+/// burning the whole step budget before the writers run once. A forced
+/// yield is not a preemption (the preemption bound measures adversarial
+/// switches, not liveness ones) and is driven by deterministic state, so
+/// replays stay exact.
+const FAIR_LIMIT: usize = 32;
+
+/// Hard cap on recorded events per run (the log is diagnostic, not a
+/// trace of record).
+const EVENT_CAP: usize = 1 << 16;
+
+/// What kind of operation an [`Event`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// An atomic load (the epoch is the history index it read from).
+    Load,
+    /// An atomic store (the epoch is the new entry's index).
+    Store,
+    /// A successful read-modify-write (fetch-op or winning CAS).
+    Rmw,
+    /// A failed compare-exchange (reads the latest entry, writes nothing).
+    CasFail,
+    /// A fence (no cell; recorded for the audit trail only).
+    Fence,
+}
+
+/// One recorded facade operation: the `(site, thread, ordering,
+/// value-epoch)` tuple the instrumented runtime captures.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Source location of the facade call.
+    pub site: &'static Location<'static>,
+    /// Virtual thread that performed the operation.
+    pub thread: usize,
+    /// Operation kind.
+    pub op: OpKind,
+    /// The declared memory ordering.
+    pub ordering: crate::Ordering,
+    /// Cell identity (stable for the cell's lifetime).
+    pub cell: u64,
+    /// The history index ("value epoch") read from or written to.
+    pub epoch: usize,
+    /// The value read or written, as raw bits.
+    pub value: u64,
+}
+
+/// Marker payload used to unwind virtual threads when a run aborts.
+struct AbortMarker;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for the given virtual thread to finish.
+    Blocked(usize),
+    Finished,
+}
+
+enum Policy {
+    Seeded(u64),
+    Exhaustive {
+        prefix: Vec<u32>,
+        trace: Vec<(u32, u32)>,
+        cursor: usize,
+    },
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Policy {
+    /// One scheduler decision with `n` alternatives; decisions with a
+    /// single alternative are not recorded (no branching).
+    fn choose(&mut self, n: u32) -> u32 {
+        if n <= 1 {
+            return 0;
+        }
+        match self {
+            Policy::Seeded(s) => (splitmix(s) % n as u64) as u32,
+            Policy::Exhaustive { prefix, trace, cursor } => {
+                let c = if *cursor < prefix.len() { prefix[*cursor] } else { 0 };
+                let c = c.min(n - 1);
+                trace.push((c, n));
+                *cursor += 1;
+                c
+            }
+        }
+    }
+
+    fn is_exhaustive(&self) -> bool {
+        matches!(self, Policy::Exhaustive { .. })
+    }
+}
+
+pub(crate) struct EngState {
+    policy: Policy,
+    status: Vec<Status>,
+    pub(crate) views: Vec<View>,
+    final_views: Vec<Option<View>>,
+    current: usize,
+    abort: bool,
+    violation: Option<String>,
+    steps: usize,
+    max_steps: usize,
+    preemptions: usize,
+    max_preemptions: Option<usize>,
+    /// Fairness state: which thread took the most recent schedule points
+    /// and how many in a row (forces a yield at [`FAIR_LIMIT`]).
+    consec_thread: usize,
+    consec_steps: usize,
+    /// Per (thread, cell) count of consecutive stale reads, for the
+    /// finite-visibility liveness rule.
+    stale_streak: HashMap<(usize, u64), u32>,
+    events: Vec<Event>,
+}
+
+impl EngState {
+    /// Picks the history index a load returns, given the reader's
+    /// coherence floor and the latest index. Applies the stale-streak
+    /// liveness rule; in exhaustive mode only the two extremes are
+    /// explored.
+    pub(crate) fn choose_read_index(&mut self, thread: usize, cell: u64, floor: usize, last: usize) -> usize {
+        if floor >= last {
+            self.stale_streak.remove(&(thread, cell));
+            return last;
+        }
+        let streak = self.stale_streak.entry((thread, cell)).or_insert(0);
+        if *streak >= STALE_STREAK_LIMIT {
+            *streak = 0;
+            return last;
+        }
+        let idx = if self.policy.is_exhaustive() {
+            // Explore the extremes only: freshest first (choice 0) so the
+            // base schedule behaves sequentially-consistently.
+            if self.policy.choose(2) == 0 {
+                last
+            } else {
+                floor
+            }
+        } else {
+            let span = (last - floor + 1) as u32;
+            floor + self.policy.choose(span) as usize
+        };
+        if idx == last {
+            self.stale_streak.remove(&(thread, cell));
+        } else {
+            *self.stale_streak.entry((thread, cell)).or_insert(0) += 1;
+        }
+        idx
+    }
+
+    pub(crate) fn record(&mut self, ev: Event) {
+        if self.events.len() < EVENT_CAP {
+            self.events.push(ev);
+        }
+    }
+
+    /// Hands the baton to some runnable thread (policy choice). With no
+    /// runnable thread left, flags a deadlock unless everything finished.
+    fn pass_baton(&mut self) {
+        let cands: Vec<usize> = (0..self.status.len())
+            .filter(|&t| self.status[t] == Status::Runnable)
+            .collect();
+        if cands.is_empty() {
+            if self.status.iter().any(|&s| s != Status::Finished) {
+                self.violation.get_or_insert_with(|| {
+                    "deadlock: every unfinished virtual thread is blocked on a join".to_string()
+                });
+                self.abort = true;
+            }
+            return;
+        }
+        let idx = self.policy.choose(cands.len() as u32) as usize;
+        self.current = cands[idx];
+        self.consec_thread = self.current;
+        self.consec_steps = 0;
+    }
+
+    fn all_finished(&self) -> bool {
+        self.status.iter().all(|&s| s == Status::Finished)
+    }
+}
+
+pub(crate) struct Engine {
+    state: Mutex<EngState>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Unique id of this run; cells lazily (re)initialise their history
+    /// when they see a different run id, so a cell accidentally reused
+    /// across runs cannot leak a stale history.
+    pub(crate) run_id: u64,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Engine>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The engine and virtual-thread index of the calling OS thread, if it is
+/// currently executing inside an exploration.
+pub(crate) fn current_ctx() -> Option<(Arc<Engine>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Engine>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Engine {
+    fn lock(&self) -> MutexGuard<'_, EngState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Blocks until virtual thread `me` holds the baton (or the run
+    /// aborts, which unwinds).
+    fn acquire(&self, me: usize) -> MutexGuard<'_, EngState> {
+        let mut g = self.lock();
+        loop {
+            if g.abort {
+                drop(g);
+                panic::panic_any(AbortMarker);
+            }
+            if g.current == me {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The schedule point at the head of every facade operation: waits
+    /// for the baton, makes one thread-choice decision (possibly handing
+    /// the baton elsewhere first), and returns with the baton held so the
+    /// caller can perform its operation atomically.
+    pub(crate) fn reschedule(&self, me: usize) -> MutexGuard<'_, EngState> {
+        let mut g = self.acquire(me);
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            let msg =
+                format!("step budget ({}) exhausted — livelock or unbounded spin", g.max_steps);
+            g.violation.get_or_insert(msg);
+            g.abort = true;
+            self.cv.notify_all();
+            drop(g);
+            panic::panic_any(AbortMarker);
+        }
+        if g.consec_thread == me {
+            g.consec_steps += 1;
+        } else {
+            g.consec_thread = me;
+            g.consec_steps = 1;
+        }
+        // Cyclic candidate order (me+1, me+2, …): decision 0 of a forced
+        // yield rotates round-robin, so fairness alone cannot starve a
+        // thread (two spinning threads would otherwise ping-pong the
+        // baton between themselves forever, never reaching the third
+        // one whose progress they spin on).
+        let len = g.status.len();
+        let others: Vec<usize> = (1..len)
+            .map(|off| (me + off) % len)
+            .filter(|&t| g.status[t] == Status::Runnable)
+            .collect();
+        // Fairness: past FAIR_LIMIT consecutive operations the baton MUST
+        // move (see the constant's doc); such a switch is free of the
+        // preemption bound. Otherwise candidates are current-thread-first
+        // so decision 0 = "no switch".
+        let forced_yield = g.consec_steps >= FAIR_LIMIT && !others.is_empty();
+        let cands = if forced_yield {
+            others
+        } else {
+            let mut c = vec![me];
+            c.extend(others);
+            c
+        };
+        let mut n = cands.len();
+        if !forced_yield {
+            if let Some(bound) = g.max_preemptions {
+                if g.preemptions >= bound {
+                    n = 1;
+                }
+            }
+        }
+        let idx = g.policy.choose(n as u32) as usize;
+        let next = cands[idx];
+        if next != me {
+            if !forced_yield {
+                g.preemptions += 1;
+            }
+            g.consec_thread = next;
+            g.consec_steps = 0;
+            g.current = next;
+            self.cv.notify_all();
+            loop {
+                if g.abort {
+                    drop(g);
+                    panic::panic_any(AbortMarker);
+                }
+                if g.current == me {
+                    break;
+                }
+                g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        g
+    }
+
+    /// Marks `me` finished, publishes its final view, wakes joiners, and
+    /// hands the baton on.
+    fn retire(&self, me: usize, panicked: Option<String>) {
+        let mut g = self.lock();
+        let view = std::mem::take(&mut g.views[me]);
+        g.final_views[me] = Some(view);
+        g.status[me] = Status::Finished;
+        for t in 0..g.status.len() {
+            if g.status[t] == Status::Blocked(me) {
+                g.status[t] = Status::Runnable;
+            }
+        }
+        if let Some(msg) = panicked {
+            g.violation.get_or_insert(msg);
+            g.abort = true;
+        } else if !g.abort && g.current == me {
+            g.pass_baton();
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to a virtual thread created by [`spawn`].
+pub struct JoinHandle {
+    idx: usize,
+}
+
+impl JoinHandle {
+    /// Blocks the calling virtual thread until the target finishes, then
+    /// merges the target's final visibility view into the caller's (the
+    /// happens-before edge a real `join` provides).
+    pub fn join(self) {
+        let (eng, me) = current_ctx().expect("JoinHandle::join outside a model exploration");
+        let mut g = eng.acquire(me);
+        if g.status[self.idx] != Status::Finished {
+            g.status[me] = Status::Blocked(self.idx);
+            g.pass_baton();
+            eng.cv.notify_all();
+            loop {
+                if g.abort {
+                    drop(g);
+                    panic::panic_any(AbortMarker);
+                }
+                if g.current == me && g.status[me] == Status::Runnable {
+                    break;
+                }
+                g = eng.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        let fv = g.final_views[self.idx].clone().unwrap_or_default();
+        let mine = &mut g.views[me];
+        for (cell, floor) in fv {
+            let e = mine.entry(cell).or_insert(0);
+            *e = (*e).max(floor);
+        }
+    }
+}
+
+/// Spawns a virtual thread inside an exploration. The closure starts
+/// executing only when the scheduler first hands it the baton; it
+/// inherits the spawner's visibility view (the happens-before edge a real
+/// `spawn` provides). Must be called from inside an exploration body.
+pub fn spawn(f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    let (eng, me) = current_ctx().expect("abr_sync::model::spawn outside a model exploration");
+    let idx;
+    {
+        let mut g = eng.acquire(me);
+        idx = g.status.len();
+        g.status.push(Status::Runnable);
+        let parent_view = g.views[me].clone();
+        g.views.push(parent_view);
+        g.final_views.push(None);
+    }
+    let eng2 = Arc::clone(&eng);
+    let handle = std::thread::Builder::new()
+        .name(format!("vthread-{idx}"))
+        .spawn(move || {
+            set_ctx(Some((Arc::clone(&eng2), idx)));
+            let eng3 = Arc::clone(&eng2);
+            // The startup wait must sit inside the catch_unwind: a run
+            // that aborts before this thread is ever scheduled unwinds
+            // the wait with the abort marker, and `retire` below must
+            // still run or the exploration waits on this vthread forever.
+            let r = panic::catch_unwind(AssertUnwindSafe(move || {
+                // Do not run a single user instruction until scheduled:
+                // all virtual-thread code executes strictly under the
+                // baton.
+                drop(eng3.acquire(idx));
+                f()
+            }));
+            set_ctx(None);
+            eng2.retire(idx, panic_message(r));
+        })
+        .expect("failed to spawn a model virtual thread");
+    eng.os_handles.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+    JoinHandle { idx }
+}
+
+/// Extracts a violation message from a caught panic; `None` for clean
+/// exits and for the internal abort marker.
+fn panic_message(r: Result<(), Box<dyn std::any::Any + Send>>) -> Option<String> {
+    match r {
+        Ok(()) => None,
+        Err(p) => {
+            if p.downcast_ref::<AbortMarker>().is_some() {
+                None
+            } else if let Some(s) = p.downcast_ref::<&'static str>() {
+                Some((*s).to_string())
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                Some(s.clone())
+            } else {
+                Some("virtual thread panicked with a non-string payload".to_string())
+            }
+        }
+    }
+}
+
+/// Tuning knobs shared by both exploration modes.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Abort a schedule after this many facade operations (livelock
+    /// guard).
+    pub max_steps: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions { max_steps: 200_000 }
+    }
+}
+
+/// A schedule under which the body's invariants failed.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Replayable descriptor: `seed N` or the exhaustive decision prefix.
+    pub schedule: String,
+    /// The panic message of the failed assertion.
+    pub message: String,
+}
+
+/// What an exploration found.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Exhaustive mode only: whether the whole (bounded) decision tree
+    /// was enumerated within the schedule cap. Always `true` for seeded
+    /// runs that completed their seed count.
+    pub complete: bool,
+    /// The first violation found, if any (exploration stops at it).
+    pub violation: Option<Violation>,
+    /// Event log of the violating run (or of the last run when clean).
+    pub events: Vec<Event>,
+}
+
+impl Outcome {
+    /// Panics with the schedule descriptor if any schedule violated.
+    pub fn assert_ok(&self) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "model violation under {} (after {} schedules): {}",
+                v.schedule, self.schedules, v.message
+            );
+        }
+    }
+
+    /// Asserts that the exploration *did* catch a violation — used to
+    /// prove the model can see a bug before trusting it on the fix.
+    pub fn assert_violation(&self) -> &Violation {
+        self.violation
+            .as_ref()
+            .expect("expected the model to catch a violation, but every schedule passed")
+    }
+}
+
+static NEXT_RUN_ID: AtomicU64 = AtomicU64::new(1);
+
+struct RunResult {
+    violation: Option<String>,
+    events: Vec<Event>,
+    trace: Vec<(u32, u32)>,
+}
+
+fn run_once(
+    policy: Policy,
+    max_preemptions: Option<usize>,
+    opts: &ExploreOptions,
+    body: &(dyn Fn() + Sync),
+) -> RunResult {
+    let eng = Arc::new(Engine {
+        state: Mutex::new(EngState {
+            policy,
+            status: vec![Status::Runnable],
+            views: vec![View::new()],
+            final_views: vec![None],
+            current: 0,
+            abort: false,
+            violation: None,
+            steps: 0,
+            max_steps: opts.max_steps,
+            preemptions: 0,
+            max_preemptions,
+            consec_thread: 0,
+            consec_steps: 0,
+            stale_streak: HashMap::new(),
+            events: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        os_handles: Mutex::new(Vec::new()),
+        // sync: plain unique-id dispensing; no cross-thread protocol
+        // hangs off the counter value.
+        run_id: NEXT_RUN_ID.fetch_add(1, crate::Ordering::Relaxed),
+    });
+
+    set_ctx(Some((Arc::clone(&eng), 0)));
+    let body_result = panic::catch_unwind(AssertUnwindSafe(body));
+    set_ctx(None);
+    eng.retire(0, panic_message(body_result));
+
+    // Wait for every virtual thread to wind down (normally or via the
+    // abort marker), then join the backing OS threads.
+    {
+        let mut g = eng.lock();
+        while !g.all_finished() {
+            g = eng.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+    let handles = std::mem::take(&mut *eng.os_handles.lock().unwrap_or_else(|p| p.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut g = eng.lock();
+    RunResult {
+        violation: g.violation.take(),
+        events: std::mem::take(&mut g.events),
+        trace: match &mut g.policy {
+            Policy::Exhaustive { trace, .. } => std::mem::take(trace),
+            Policy::Seeded(_) => Vec::new(),
+        },
+    }
+}
+
+/// Runs `body` under `runs` seeded schedules (seeds `base_seed..`),
+/// stopping at the first violation.
+pub fn explore_seeded(base_seed: u64, runs: usize, body: impl Fn() + Sync) -> Outcome {
+    let opts = ExploreOptions::default();
+    let mut last_events = Vec::new();
+    for i in 0..runs {
+        let seed = base_seed.wrapping_add(i as u64);
+        let r = run_once(Policy::Seeded(seed), None, &opts, &body);
+        if let Some(message) = r.violation {
+            return Outcome {
+                schedules: i + 1,
+                complete: false,
+                violation: Some(Violation { schedule: format!("seed {seed}"), message }),
+                events: r.events,
+            };
+        }
+        last_events = r.events;
+    }
+    Outcome { schedules: runs, complete: true, violation: None, events: last_events }
+}
+
+/// Enumerates every schedule of `body` with at most `max_preemptions`
+/// preemptions (and stale reads capped to the oldest-visible/latest
+/// extremes), depth-first, up to `max_schedules` runs. Practical for 2–3
+/// virtual threads with a handful of operations each — the
+/// bounded-preemption analogue of CHESS-style systematic testing.
+pub fn explore_exhaustive(
+    max_preemptions: usize,
+    max_schedules: usize,
+    body: impl Fn() + Sync,
+) -> Outcome {
+    let opts = ExploreOptions::default();
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut schedules = 0usize;
+    let mut last_events;
+    loop {
+        let policy = Policy::Exhaustive { prefix: prefix.clone(), trace: Vec::new(), cursor: 0 };
+        let r = run_once(policy, Some(max_preemptions), &opts, &body);
+        schedules += 1;
+        if let Some(message) = r.violation {
+            let shown = 40.min(r.trace.len());
+            let schedule = format!(
+                "decision prefix {:?}{}",
+                &r.trace[..shown],
+                if r.trace.len() > shown {
+                    format!(" … ({} decisions total)", r.trace.len())
+                } else {
+                    String::new()
+                }
+            );
+            return Outcome {
+                schedules,
+                complete: false,
+                violation: Some(Violation { schedule, message }),
+                events: r.events,
+            };
+        }
+        last_events = r.events;
+        // Backtrack: bump the deepest decision that still has an
+        // unexplored alternative.
+        let mut next_prefix = None;
+        for i in (0..r.trace.len()).rev() {
+            let (chosen, n) = r.trace[i];
+            if chosen + 1 < n {
+                let mut p: Vec<u32> = r.trace[..i].iter().map(|&(c, _)| c).collect();
+                p.push(chosen + 1);
+                next_prefix = Some(p);
+                break;
+            }
+        }
+        match next_prefix {
+            None => {
+                return Outcome { schedules, complete: true, violation: None, events: last_events }
+            }
+            Some(p) => prefix = p,
+        }
+        if schedules >= max_schedules {
+            return Outcome { schedules, complete: false, violation: None, events: last_events };
+        }
+    }
+}

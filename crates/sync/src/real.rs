@@ -1,0 +1,199 @@
+//! The passthrough facade: every method is an `#[inline]` delegation to
+//! the corresponding `std::sync::atomic` operation, so normal builds pay
+//! nothing for routing their atomics through `abr_sync`.
+
+use crate::Ordering;
+use std::sync::atomic::{self, AtomicBool, AtomicU64, AtomicUsize};
+
+/// An atomic memory fence (passthrough to `std::sync::atomic::fence`).
+#[inline]
+pub fn fence(ord: Ordering) {
+    atomic::fence(ord);
+}
+
+/// Facade over `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct SyncBool {
+    inner: AtomicBool,
+}
+
+impl SyncBool {
+    /// A new cell holding `v`.
+    #[inline]
+    pub fn new(v: bool) -> Self {
+        SyncBool { inner: AtomicBool::new(v) }
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.inner.load(ord)
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.inner.store(v, ord)
+    }
+
+    /// Atomic compare-and-exchange.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    /// Atomic compare-and-exchange, allowed to fail spuriously.
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner.compare_exchange_weak(current, new, success, failure)
+    }
+
+    /// Non-atomic store through an exclusive borrow (no atomic traffic;
+    /// the borrow checker proves there are no concurrent readers).
+    #[inline]
+    pub fn set_exclusive(&mut self, v: bool) {
+        *self.inner.get_mut() = v;
+    }
+}
+
+/// Facade over `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct SyncU64 {
+    inner: AtomicU64,
+}
+
+impl SyncU64 {
+    /// A new cell holding `v`.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        SyncU64 { inner: AtomicU64::new(v) }
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.inner.load(ord)
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: u64, ord: Ordering) {
+        self.inner.store(v, ord)
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        self.inner.fetch_add(v, ord)
+    }
+
+    /// Atomic maximum; returns the previous value.
+    #[inline]
+    pub fn fetch_max(&self, v: u64, ord: Ordering) -> u64 {
+        self.inner.fetch_max(v, ord)
+    }
+
+    /// Atomic compare-and-exchange.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    /// Non-atomic store through an exclusive borrow.
+    #[inline]
+    pub fn set_exclusive(&mut self, v: u64) {
+        *self.inner.get_mut() = v;
+    }
+}
+
+/// Facade over `AtomicUsize`.
+#[derive(Debug, Default)]
+pub struct SyncUsize {
+    inner: AtomicUsize,
+}
+
+impl SyncUsize {
+    /// A new cell holding `v`.
+    #[inline]
+    pub fn new(v: usize) -> Self {
+        SyncUsize { inner: AtomicUsize::new(v) }
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.inner.load(ord)
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.inner.store(v, ord)
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.inner.fetch_add(v, ord)
+    }
+
+    /// Atomic subtract; returns the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        self.inner.fetch_sub(v, ord)
+    }
+
+    /// Atomic maximum; returns the previous value.
+    #[inline]
+    pub fn fetch_max(&self, v: usize, ord: Ordering) -> usize {
+        self.inner.fetch_max(v, ord)
+    }
+
+    /// Atomic compare-and-exchange.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    /// Atomic compare-and-exchange, allowed to fail spuriously.
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.inner.compare_exchange_weak(current, new, success, failure)
+    }
+
+    /// Non-atomic store through an exclusive borrow.
+    #[inline]
+    pub fn set_exclusive(&mut self, v: usize) {
+        *self.inner.get_mut() = v;
+    }
+}

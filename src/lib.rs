@@ -17,7 +17,12 @@
 //! * [`multigpu`] — the AMC/DC/DK multi-device communication schemes;
 //! * [`fault`] — failure injection, recovery, silent-error detection;
 //! * [`exp`] — the experiment harness regenerating every table and figure
-//!   of the paper (see the `repro` binary).
+//!   of the paper (see the `repro` binary);
+//! * [`sync`] — the audited atomics facade every executor's shared-memory
+//!   protocol goes through: a zero-cost `std::sync::atomic` passthrough
+//!   normally, an instrumented weak-memory model checker under the
+//!   `model` cargo feature (`cargo test --features model` runs the
+//!   schedule-explorer suites).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +51,7 @@ pub use abr_fault as fault;
 pub use abr_gpu as gpu;
 pub use abr_multigpu as multigpu;
 pub use abr_sparse as sparse;
+pub use abr_sync as sync;
 
 /// The most common imports in one place.
 pub mod prelude {

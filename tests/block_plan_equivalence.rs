@@ -150,7 +150,7 @@ fn scratch_capacity_stabilises_after_first_pass() {
 struct ScratchProbe {
     n: usize,
     block_size: usize,
-    tag: std::sync::atomic::AtomicUsize,
+    tag: abr_sync::SyncUsize,
     seen_scratches: parking_lot::Mutex<std::collections::BTreeSet<usize>>,
 }
 
@@ -178,7 +178,8 @@ impl BlockKernel for ScratchProbe {
     ) {
         let (s, e) = self.block_range(b);
         scratch.ensure(e - s);
-        let tag = self.tag.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as f64;
+        // sync: unique-tag dispenser; only RMW atomicity matters.
+        let tag = self.tag.fetch_add(1, abr_sync::Ordering::Relaxed) as f64;
         for v in scratch.cur.iter_mut() {
             *v = tag;
         }
@@ -198,7 +199,7 @@ fn threaded_executor_gives_each_worker_its_own_scratch() {
     let probe = ScratchProbe {
         n: 64,
         block_size: 8,
-        tag: std::sync::atomic::AtomicUsize::new(0),
+        tag: abr_sync::SyncUsize::new(0),
         seen_scratches: parking_lot::Mutex::new(std::collections::BTreeSet::new()),
     };
     let workers = 4;
@@ -220,7 +221,7 @@ fn sim_executor_reuses_one_scratch_for_the_whole_replay() {
     let probe = ScratchProbe {
         n: 60,
         block_size: 6, // divides n: every ensure() asks the same size
-        tag: std::sync::atomic::AtomicUsize::new(0),
+        tag: abr_sync::SyncUsize::new(0),
         seen_scratches: parking_lot::Mutex::new(std::collections::BTreeSet::new()),
     };
     let exec = SimExecutor::new(SimOptions { n_workers: 5, jitter: 0.3, seed: 7 });

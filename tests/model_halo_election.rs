@@ -1,0 +1,218 @@
+//! The halo-refresh election under the schedule explorer.
+//!
+//! `halo.rs` elects the worker that refreshes a device's stage by an
+//! atomic `fetch_max` raise of the device's epoch: exactly one worker
+//! observes `prev < target` per raised value. The older shape — load the
+//! epoch, bail if it already covers `target`, else `compare_exchange` —
+//! has a stale-read hole: a worker can load an outdated epoch, lose the
+//! CAS against a value that *still* does not cover `target`, and walk
+//! away from a refresh nobody else will ever perform.
+//!
+//! Three tests on the bare election primitive (the explorer must catch
+//! the load-then-CAS variant and clear the `fetch_max` one), then two on
+//! the real [`HaloExchange`]: single-winner refresh accounting under DC,
+//! and the one-sided AMC stamp-provenance bound.
+//!
+//! Run with `cargo test --features model`.
+#![cfg(feature = "model")]
+
+use block_async_relax::gpu::{AtomicF64Vec, CommStrategy, HaloExchange};
+use block_async_relax::sync::model::{explore_exhaustive, explore_seeded, spawn};
+use block_async_relax::sync::{Ordering, SyncUsize};
+use std::sync::Arc;
+
+/// Epoch targets raced over in the primitive tests.
+const EPOCHS: usize = 3;
+
+/// The bare election: `EPOCHS` virtual threads, thread `i` responsible
+/// for raising the epoch to `i` (as one device worker is the first to
+/// cross each exchange-epoch boundary). With `fetch_max` the final epoch
+/// is the maximum of all targets no matter how stale anyone's view was;
+/// with load-then-CAS a stale load can silently drop a raise.
+fn raise_protocol(fetch_max: bool) {
+    let epoch = Arc::new(SyncUsize::new(0));
+    let raisers: Vec<_> = (1..=EPOCHS)
+        .map(|target| {
+            let epoch = Arc::clone(&epoch);
+            spawn(move || {
+                if fetch_max {
+                    // sync: test fixture — the shipped election; RMW
+                    // atomicity alone picks the winner (halo.rs).
+                    epoch.fetch_max(target, Ordering::Relaxed);
+                } else {
+                    // sync: test fixture — the retired load-then-CAS
+                    // shape under audit.
+                    let cur = epoch.load(Ordering::Relaxed);
+                    if cur < target {
+                        // sync: test fixture — fails against any value
+                        // newer than the (possibly stale) `cur`, even one
+                        // below `target`.
+                        let _ = epoch.compare_exchange(
+                            cur,
+                            target,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in raisers {
+        h.join();
+    }
+    // sync: post-join read — the join edges floor this thread's view at
+    // every raiser's final write, so the read is exact.
+    let final_epoch = epoch.load(Ordering::Relaxed);
+    assert_eq!(
+        final_epoch, EPOCHS,
+        "epoch raise dropped: final epoch {final_epoch} never reached {EPOCHS}"
+    );
+}
+
+/// `fetch_max` raises can never be dropped, under seeded and
+/// bounded-preemption-exhaustive schedules.
+#[test]
+fn fetch_max_raise_never_drops_an_epoch() {
+    explore_seeded(0xE1EC, 1_000, || raise_protocol(true)).assert_ok();
+    let outcome = explore_exhaustive(3, 20_000, || raise_protocol(true));
+    outcome.assert_ok();
+    assert!(outcome.complete, "the raise protocol's schedule tree should be fully enumerable");
+}
+
+/// The explorer must catch the load-then-CAS shape dropping a raise
+/// (stale load, lost CAS, no retry — the hole the `fetch_max` rewrite
+/// in `halo.rs` closed).
+#[test]
+fn load_then_cas_election_drops_epochs() {
+    let outcome = explore_seeded(0xD2099, 1_000, || raise_protocol(false));
+    let v = outcome.assert_violation();
+    assert!(v.message.contains("epoch raise dropped"), "unexpected violation: {}", v.message);
+}
+
+/// Single-winner accounting: all workers of one device race every epoch
+/// boundary; per raised value exactly one of them may win. Tallies are
+/// kept per target and checked post-join — with in-order targets each
+/// epoch is won exactly once.
+#[test]
+fn election_has_exactly_one_winner_per_epoch() {
+    let body = || {
+        let epoch = Arc::new(SyncUsize::new(0));
+        let wins: Arc<Vec<SyncUsize>> =
+            Arc::new((0..EPOCHS).map(|_| SyncUsize::new(0)).collect());
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (epoch, wins) = (Arc::clone(&epoch), Arc::clone(&wins));
+                spawn(move || {
+                    for target in 1..=EPOCHS {
+                        // sync: test fixture — the shipped election.
+                        let prev = epoch.fetch_max(target, Ordering::Relaxed);
+                        if prev < target {
+                            // sync: tally of wins, read post-join.
+                            wins[target - 1].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join();
+        }
+        for (i, w) in wins.iter().enumerate() {
+            // sync: post-join read, ordered by the join edges.
+            let n = w.load(Ordering::Relaxed);
+            assert_eq!(n, 1, "epoch {} won {n} times, want exactly 1", i + 1);
+        }
+    };
+    explore_seeded(0x51_99_1E, 1_000, body).assert_ok();
+    let outcome = explore_exhaustive(2, 20_000, body);
+    outcome.assert_ok();
+    assert!(outcome.schedules > 10, "suspiciously few schedules ({})", outcome.schedules);
+}
+
+/// The real DC exchange: two workers of device 0 race `maybe_refresh`
+/// over `ROUNDS` rounds with an epoch every round. The election bounds
+/// total refreshes by the number of epochs (no double win), at least the
+/// final epoch is refreshed, staged remote values are ones that were
+/// genuinely written to the live iterate, and the freshness stamp never
+/// exceeds the largest watermark offered.
+#[test]
+fn dc_refresh_wins_are_unique_and_stage_is_genuine() {
+    const ROUNDS: usize = 3;
+    let body = || {
+        let halo = Arc::new(
+            HaloExchange::for_strategy(CommStrategy::Dc, &[0, 1, 2], &[0.0, 0.0], 1)
+                .expect("DC has a stage"),
+        );
+        let live = Arc::new(AtomicF64Vec::from_slice(&[0.0, 0.0]));
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let (halo, live) = (Arc::clone(&halo), Arc::clone(&live));
+                spawn(move || {
+                    for round in 1..=ROUNDS {
+                        // Each worker advances the remote row (row 1 is
+                        // remote to device 0) before offering a refresh,
+                        // so the stage can only ever capture values some
+                        // worker actually wrote.
+                        live.set(1, (round * 10 + w) as f64);
+                        halo.maybe_refresh(0, round, &live, round);
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join();
+        }
+        let refreshes = halo.refreshes();
+        assert!(
+            (1..=ROUNDS).contains(&refreshes),
+            "DC refreshes {refreshes} outside [1, {ROUNDS}]: an epoch was double-won or all lost"
+        );
+        let staged = halo.view(0, &live).get(1);
+        let genuine = staged == 0.0
+            || (1..=ROUNDS).any(|r| staged == (r * 10) as f64 || staged == (r * 10 + 1) as f64);
+        assert!(genuine, "staged value {staged} was never written to the live iterate");
+        let stamp = halo.stage_stamp(0);
+        assert!(stamp <= ROUNDS, "stamp {stamp} exceeds the largest offered watermark {ROUNDS}");
+    };
+    explore_seeded(0xDC0, 600, body).assert_ok();
+}
+
+/// The AMC scheme's stamp provenance (the one-sided extra-epoch bound):
+/// a pulled stamp is either the initial 0 or some watermark a push
+/// genuinely offered, and never exceeds the largest one — stamps may
+/// *regress* across different winners (admissible raciness the staleness
+/// accounting tolerates), but they cannot be invented.
+#[test]
+fn amc_stamp_provenance_is_one_sided() {
+    const ROUNDS: usize = 3;
+    let body = || {
+        let halo = Arc::new(
+            HaloExchange::for_strategy(CommStrategy::Amc, &[0, 1, 2], &[0.0, 0.0], 1)
+                .expect("AMC has a stage"),
+        );
+        let live = Arc::new(AtomicF64Vec::from_slice(&[0.0, 0.0]));
+        let workers: Vec<_> = (0..2)
+            .map(|d| {
+                let (halo, live) = (Arc::clone(&halo), Arc::clone(&live));
+                spawn(move || {
+                    for round in 1..=ROUNDS {
+                        live.set(d, (round * 10 + d) as f64);
+                        halo.maybe_refresh(d, round, &live, round);
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join();
+        }
+        for d in 0..2 {
+            let stamp = halo.stage_stamp(d);
+            assert!(
+                stamp <= ROUNDS,
+                "device {d} stamp {stamp} exceeds every watermark any push offered"
+            );
+        }
+    };
+    explore_seeded(0xA3C, 600, body).assert_ok();
+}

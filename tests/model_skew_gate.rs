@@ -1,0 +1,174 @@
+//! The persistent executor's staleness gate under the schedule explorer.
+//!
+//! `persistent.rs` lets workers draw per-shard dispatch tickets only
+//! while the ticket's round stays within `floor + lag`, where `floor` is
+//! a (possibly stale, conservatively low) view of the slowest shard's
+//! progress — that gate is what enforces the paper's bounded-staleness
+//! contract `max_skew <= max_round_lag + 1`.
+//!
+//! The draw was originally "validate a loaded counter against the gate,
+//! then `fetch_add`" — a classic time-of-check/time-of-use hole: two
+//! workers of the same shard can validate the *same* counter value and
+//! then draw *two* tickets, the second of which was never gate-checked.
+//! The shipped protocol validates and draws in one `compare_exchange`
+//! instead. These tests drive both variants through the `abr_sync` model
+//! runtime: the explorer must catch the TOCTOU variant and must clear
+//! the CAS one.
+//!
+//! Run with `cargo test --features model`.
+#![cfg(feature = "model")]
+
+use block_async_relax::sync::model::{explore_exhaustive, explore_seeded, spawn};
+use block_async_relax::sync::{Ordering, SyncUsize};
+use std::sync::{Arc, Mutex};
+
+/// Tickets per shard (with one block per shard, ticket == round).
+const TOTAL: usize = 4;
+/// The staleness gate: a ticket may run at most `LAG` rounds ahead of
+/// the slowest shard.
+const LAG: usize = 1;
+
+/// Ground truth updated in the instant a ticket is drawn (the code
+/// between two facade operations runs atomically under the scheduler
+/// baton, and the lock is never held across a facade call). `counts`
+/// mirrors completed tickets per shard; `max_skew` is the widest spread
+/// ever reached.
+#[derive(Default)]
+struct Truth {
+    counts: [usize; 2],
+    max_skew: usize,
+}
+
+/// One run of the draw protocol over two single-block shards. Workers 0
+/// and 1 are homed on shard 0 (the racing pair the TOCTOU needs), worker
+/// 2 on shard 1 (the slow shard whose count is the gate's floor). Each
+/// worker draws only its home shard, gated at `floor + LAG` where
+/// `floor` is its racy view of the slowest shard. `toctou` selects the
+/// buggy validate-then-`fetch_add` draw; `false` selects the shipped
+/// gate-validated CAS draw.
+fn draw_protocol(toctou: bool) {
+    let next: Arc<Vec<SyncUsize>> = Arc::new((0..2).map(|_| SyncUsize::new(0)).collect());
+    let counts: Arc<Vec<SyncUsize>> = Arc::new((0..2).map(|_| SyncUsize::new(0)).collect());
+    let truth = Arc::new(Mutex::new(Truth::default()));
+
+    let commit = |s: usize, counts: &[SyncUsize], truth: &Mutex<Truth>| {
+        {
+            // Plain mutex between facade ops: records the true draw
+            // order and checks the paper's bound against it.
+            let mut t = truth.lock().unwrap();
+            t.counts[s] += 1;
+            let skew = t.counts[0].abs_diff(t.counts[1]);
+            t.max_skew = t.max_skew.max(skew);
+            assert!(
+                skew <= LAG + 1,
+                "shard skew {skew} exceeds the bounded-staleness contract ({})",
+                LAG + 1
+            );
+        }
+        // sync: progress counter feeding the (deliberately racy) floor
+        // reads below; a stale read only under-reports progress, which
+        // makes the gate stricter, never looser.
+        counts[s].fetch_add(1, Ordering::Relaxed);
+    };
+
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let home = if w < 2 { 0 } else { 1 };
+            let (next, counts, truth) = (Arc::clone(&next), Arc::clone(&counts), Arc::clone(&truth));
+            spawn(move || {
+                loop {
+                    // sync: shard dispatch counter — a stale read here is
+                    // exactly the raciness under audit (the stale-streak
+                    // liveness rule still bounds the exit check).
+                    let seen = next[home].load(Ordering::Relaxed);
+                    if seen >= TOTAL {
+                        return;
+                    }
+                    let floor = counts
+                        .iter()
+                        // sync: racy poll of monotone counters — see the
+                        // commit closure; staleness is conservative.
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .min()
+                        .unwrap();
+                    if toctou {
+                        // The original draw: gate-check the loaded value,
+                        // then draw with an unrelated RMW — the ticket it
+                        // hands out may not be the one the gate checked.
+                        if seen <= floor + LAG {
+                            // sync: test fixture — the TOCTOU under audit.
+                            let t = next[home].fetch_add(1, Ordering::Relaxed);
+                            if t < TOTAL {
+                                commit(home, &counts, &truth);
+                            }
+                        }
+                    } else {
+                        // The shipped draw: the CAS revalidates the gate
+                        // against the exact ticket it takes.
+                        let mut cur = seen;
+                        loop {
+                            if cur >= TOTAL || cur > floor + LAG {
+                                break;
+                            }
+                            match next[home].compare_exchange_weak(
+                                cur,
+                                cur + 1,
+                                // sync: test fixture — same Relaxed pair
+                                // as the executor's draw; only RMW
+                                // atomicity is needed.
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => {
+                                    commit(home, &counts, &truth);
+                                    break;
+                                }
+                                Err(now) => cur = now,
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join();
+    }
+}
+
+/// The validate-then-`fetch_add` draw must be caught over-drawing: both
+/// shard-0 workers validate the same counter value against a floor of 0
+/// (shard 1 untouched), both draw, and the second ticket puts shard 0
+/// `LAG + 2` rounds ahead.
+#[test]
+fn toctou_draw_violates_the_staleness_bound() {
+    let outcome = explore_seeded(0x6A7E, 3_000, || draw_protocol(true));
+    let v = outcome.assert_violation();
+    assert!(
+        v.message.contains("exceeds the bounded-staleness contract"),
+        "unexpected violation: {}",
+        v.message
+    );
+}
+
+/// The gate-validated CAS draw keeps `max_skew <= LAG + 1` under every
+/// explored schedule: a successful draw has revalidated the gate against
+/// the exact ticket it takes, and stale floors only make the gate
+/// stricter.
+#[test]
+fn cas_draw_keeps_the_staleness_bound() {
+    explore_seeded(0xB10C4, 2_000, || draw_protocol(false)).assert_ok();
+}
+
+/// The CAS draw swept systematically with bounded preemptions around the
+/// sequential base schedule.
+#[test]
+fn cas_draw_keeps_the_bound_exhaustive() {
+    let outcome = explore_exhaustive(2, 3_000, || draw_protocol(false));
+    outcome.assert_ok();
+    assert!(
+        outcome.schedules > 10,
+        "exhaustive sweep explored suspiciously few schedules ({})",
+        outcome.schedules
+    );
+}

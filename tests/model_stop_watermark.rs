@@ -1,0 +1,152 @@
+//! Stop-watermark coherence under the schedule explorer.
+//!
+//! The persistent executor's protocol: workers advance per-shard
+//! dispatch counters; the concurrent monitor polls them, records the
+//! watermark (the minimum dispatch round) it decided to stop at, and
+//! raises the stop flag. The invariant — *the recorded stop watermark
+//! never exceeds the dispatch state a stopping worker observes* — is
+//! what makes `PersistentReport::stopped_at` a trustworthy iteration
+//! count, and it needs the Release(store)/Acquire(load) pairing on the
+//! stop flag that `persistent.rs` declares.
+//!
+//! These tests drive the protocol skeleton (two dispatch counters, a
+//! recorded-watermark cell, the stop flag) through the `abr_sync` model
+//! runtime: the Relaxed-flag variant must be *caught* (that proves the
+//! model can see this bug class), the Release/Acquire variant must
+//! survive thousands of seeded schedules plus a bounded-preemption
+//! exhaustive sweep.
+//!
+//! Run with `cargo test --features model`.
+#![cfg(feature = "model")]
+
+use block_async_relax::sync::model::{explore_exhaustive, explore_seeded, spawn};
+use block_async_relax::sync::{Ordering, SyncBool, SyncUsize};
+use std::sync::Arc;
+
+const ROUNDS: usize = 6;
+const STOP_AT: usize = 2;
+
+/// One run of the protocol skeleton. `store_ord`/`load_ord` are the
+/// orderings on the stop flag's store (monitor side) and loads (worker
+/// side) — the pair under audit; `rounds`/`stop_at` size the instance
+/// (the exhaustive sweep uses a smaller one to keep its decision tree
+/// tractable).
+fn stop_protocol_sized(rounds: usize, stop_at: usize, store_ord: Ordering, load_ord: Ordering) {
+    let disp: Arc<Vec<SyncUsize>> = Arc::new((0..2).map(|_| SyncUsize::new(0)).collect());
+    let rec = Arc::new(SyncUsize::new(0));
+    let stop = Arc::new(SyncBool::new(false));
+
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let (disp, rec, stop) = (Arc::clone(&disp), Arc::clone(&rec), Arc::clone(&stop));
+            spawn(move || {
+                loop {
+                    if stop.load(load_ord) {
+                        // sync: test fixture — the ordering under audit
+                        // is the `load_ord` parameter above.
+                        // The coherence invariant: whatever watermark the
+                        // monitor recorded must be covered by the
+                        // dispatch state this worker can now observe.
+                        let r = rec.load(Ordering::Relaxed);
+                        // sync: ^ ordered by the stop flag's edge when
+                        // the audited pair is Release/Acquire.
+                        let observed = disp
+                            .iter()
+                            .map(|d| d.load(Ordering::Relaxed))
+                            // sync: ^ same — the flag's edge is what
+                            // forces these reads past the monitor's poll.
+                            .min()
+                            .unwrap();
+                        assert!(
+                            r <= observed,
+                            "recorded stop watermark {r} exceeds worker-visible dispatch {observed}"
+                        );
+                        return;
+                    }
+                    // sync: own counter — this worker is its only
+                    // writer, so the Relaxed read is exact.
+                    if disp[w].load(Ordering::Relaxed) >= rounds {
+                        return;
+                    }
+                    // sync: monotone dispatch tick; the monitor reads it
+                    // conservatively low by design.
+                    disp[w].fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // The monitor runs on the body's virtual thread, as the executor's
+    // monitor runs on the caller.
+    loop {
+        let w = disp
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            // sync: racy poll of monotone counters — a stale read only
+            // under-reports the watermark (stops late, never early).
+            .min()
+            .unwrap();
+        if w >= stop_at {
+            rec.store(w, Ordering::Relaxed);
+            // sync: ^ published by the Release store below when the
+            // audited pair is Release/Acquire.
+            stop.store(true, store_ord);
+            // sync: ^ test fixture — the ordering under audit is the
+            // `store_ord` parameter.
+            break;
+        }
+    }
+    for h in workers {
+        h.join();
+    }
+}
+
+/// With a fully `Relaxed` stop flag the invariant is violated somewhere:
+/// a worker can observe stop=true and the freshly recorded watermark
+/// while its view of the other worker's dispatch counter is still stale
+/// below it. The explorer must catch this — it is the regression the
+/// Release/Acquire upgrade in `persistent.rs` exists to prevent.
+#[test]
+fn relaxed_stop_flag_violates_watermark_coherence() {
+    let outcome = explore_seeded(0x57_0b, 2_000, || {
+        // sync: the flag pairing under audit — deliberately Relaxed/Relaxed.
+        stop_protocol_sized(ROUNDS, STOP_AT, Ordering::Relaxed, Ordering::Relaxed)
+    });
+    let v = outcome.assert_violation();
+    assert!(
+        v.message.contains("exceeds worker-visible dispatch"),
+        "unexpected violation: {}",
+        v.message
+    );
+}
+
+/// The shipped pairing: Release store, Acquire loads. The acquire edge
+/// pulls the monitor's recorded watermark *and* its dispatch-poll floors
+/// into the stopping worker's view, so the invariant holds under every
+/// explored schedule.
+#[test]
+fn release_acquire_stop_flag_keeps_watermark_coherent() {
+    explore_seeded(0xACC_E55, 2_000, || {
+        // sync: the shipped pairing — Release store / Acquire loads.
+        stop_protocol_sized(ROUNDS, STOP_AT, Ordering::Release, Ordering::Acquire)
+    })
+    .assert_ok();
+}
+
+/// The same guarantee swept systematically with bounded preemptions (the
+/// CHESS-style mode) over a smaller instance of the 3-virtual-thread
+/// protocol — the full decision tree is enormous, so this is a capped
+/// depth-first sample around the sequential base schedule.
+#[test]
+fn release_acquire_stop_flag_exhaustive() {
+    let outcome = explore_exhaustive(2, 3_000, || {
+        // sync: the shipped Release/Acquire pairing, smaller instance.
+        stop_protocol_sized(2, 1, Ordering::Release, Ordering::Acquire)
+    });
+    outcome.assert_ok();
+    assert!(
+        outcome.schedules > 10,
+        "exhaustive sweep explored suspiciously few schedules ({})",
+        outcome.schedules
+    );
+}
