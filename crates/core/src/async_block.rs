@@ -22,7 +22,7 @@ use crate::convergence::{check_system, relative_residual_with, SolveOptions, Sol
 use abr_gpu::kernel::AllowAll;
 use abr_gpu::schedule::BlockSchedule;
 use abr_gpu::{
-    BlockKernel, BlockScratch, ConvergenceMonitor, HaloExchange, PersistentExecutor,
+    BlockKernel, BlockScratch, ConvergenceMonitor, FaultPlan, HaloExchange, PersistentExecutor,
     PersistentOptions, PersistentWorkspace, RandomPermutation, RecurringPattern, RoundRobin,
     ShardPlan, SimExecutor, SimOptions, ThreadedExecutor, ThreadedOptions, UpdateFilter,
     UpdateTrace, XView,
@@ -292,7 +292,7 @@ impl AsyncBlockSolver {
         if opts.tol > 0.0 && final_residual <= opts.tol {
             converged = true;
         }
-        Ok(SolveResult { x, iterations, converged, final_residual, history })
+        Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
     }
 
     /// The persistent-worker solve: spawns the executor's workers once,
@@ -356,10 +356,111 @@ impl AsyncBlockSolver {
         let final_residual = relative_residual_with(&mut rbuf, a, rhs, &x);
         let converged = opts.tol > 0.0 && final_residual <= opts.tol;
         Ok((
-            SolveResult { x, iterations, converged, final_residual, history: Vec::new() },
+            SolveResult { x, iterations, converged, final_residual, history: Vec::new(), fault: None },
             trace,
         ))
     }
+
+    /// The live-fault solve (§4.5 realised): runs the persistent-worker
+    /// executor under a [`FaultPlan`] — workers really die, hang, or go
+    /// panicky mid-solve; the concurrent monitor detects stalled
+    /// heartbeats and, in the recovery-(t_r) regime, releases orphaned
+    /// shards for adoption by the survivors. Where
+    /// [`solve_filtered`](Self::solve_filtered) with an
+    /// `abr_fault::ComponentFailure` *models* the outage analytically
+    /// (silently dropping updates on a schedule), this entry point
+    /// *realises* it: detection latency, reassignment rounds, and the
+    /// widened staleness bound are all measured, not assumed.
+    ///
+    /// `tuning` overrides the executor's fault-runtime knobs (worker
+    /// count, `detect_after_rounds`, `stall_timeout`); `None` takes the
+    /// solver's executor worker count with default detection pacing.
+    /// Returns the full [`FaultedSolve`]: the result (with
+    /// [`SolveResult::fault`] populated), the executor trace, the raw
+    /// [`PersistentReport`], and the monitor's concurrent residual
+    /// trajectory.
+    #[allow(clippy::too_many_arguments)] // solve signature + plan and tuning
+    pub fn solve_faulted(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        partition: &RowPartition,
+        opts: &SolveOptions,
+        plan: &FaultPlan,
+        tuning: Option<&PersistentOptions>,
+    ) -> Result<FaultedSolve> {
+        check_system(a, rhs, x0);
+        assert_eq!(partition.n(), a.n_rows(), "partition must cover the system");
+        let kernel = AsyncJacobiKernel::with_sweep(
+            a,
+            rhs,
+            partition,
+            self.local_iters,
+            self.damping,
+            self.local_sweep,
+        )?;
+        let exec_opts = match tuning {
+            Some(t) => t.clone(),
+            None => {
+                let n_workers = match &self.executor {
+                    ExecutorKind::Threaded(t) | ExecutorKind::ThreadedChunked(t) => t.n_workers,
+                    ExecutorKind::Sim(_) => ThreadedOptions::default().n_workers,
+                };
+                PersistentOptions { n_workers, ..PersistentOptions::default() }
+            }
+        };
+        let exec = PersistentExecutor::new(exec_opts);
+        let mut schedule = self.schedule.build();
+        let period = if opts.tol > 0.0 { opts.check_every.max(1) } else { 0 };
+        let mut monitor = ResidualMonitor::new(a, rhs, opts.tol, period);
+        let mut ws = PersistentWorkspace::new();
+        let mut x = x0.to_vec();
+        let (trace, report) = exec.run_faulted(
+            &kernel,
+            &mut x,
+            opts.max_iters,
+            schedule.as_mut(),
+            &AllowAll,
+            &mut monitor,
+            &mut ws,
+            None,
+            None,
+            Some(plan),
+        );
+        let iterations = report.stopped_at.unwrap_or(opts.max_iters);
+        let checks = std::mem::take(&mut monitor.checks);
+        let mut rbuf = monitor.into_scratch();
+        let final_residual = relative_residual_with(&mut rbuf, a, rhs, &x);
+        let converged = opts.tol > 0.0 && final_residual <= opts.tol;
+        let result = SolveResult {
+            x,
+            iterations,
+            converged,
+            final_residual,
+            history: Vec::new(),
+            fault: Some(report.fault.clone()),
+        };
+        Ok(FaultedSolve { result, trace, report, checks })
+    }
+}
+
+/// Everything a [`AsyncBlockSolver::solve_faulted`] run produces.
+#[derive(Debug)]
+pub struct FaultedSolve {
+    /// The solve outcome; [`SolveResult::fault`] holds the
+    /// [`abr_gpu::FaultReport`].
+    pub result: SolveResult,
+    /// The executor's update trace (staleness histogram, per-block
+    /// counts, realised `max_skew` — bounded by
+    /// `max_round_lag + 1 + max_outage_rounds`).
+    pub trace: UpdateTrace,
+    /// The raw executor report ([`RunOutcome`](abr_gpu::RunOutcome),
+    /// stop watermark, steal/check counters, the fault report again).
+    pub report: abr_gpu::PersistentReport,
+    /// The concurrent monitor's `(global_iteration, relative_residual)`
+    /// trajectory — the §4.5 / Figure 10 re-convergence curve.
+    pub checks: Vec<(usize, f64)>,
 }
 
 /// Runs `rounds` asynchronous rounds purely to *measure* the realised
@@ -423,13 +524,26 @@ pub struct ResidualMonitor<'a> {
     scratch: Vec<f64>,
     /// `(global_iteration, relative_residual)` of the last check.
     pub last_check: Option<(usize, f64)>,
+    /// Every check the monitor performed, in order — the concurrent
+    /// residual trajectory of a persistent solve (what the `recovery`
+    /// experiment's re-convergence curves are plotted from). One small
+    /// push per `check_every` iterations, nothing per update.
+    pub checks: Vec<(usize, f64)>,
 }
 
 impl<'a> ResidualMonitor<'a> {
     /// A monitor stopping at relative residual `tol`, checking every
     /// `period` global iterations (`0` never checks).
     pub fn new(a: &'a CsrMatrix, rhs: &'a [f64], tol: f64, period: usize) -> Self {
-        ResidualMonitor { a, rhs, tol, period, scratch: Vec::new(), last_check: None }
+        ResidualMonitor {
+            a,
+            rhs,
+            tol,
+            period,
+            scratch: Vec::new(),
+            last_check: None,
+            checks: Vec::new(),
+        }
     }
 
     /// Consumes the monitor, handing back its residual scratch buffer so
@@ -447,6 +561,7 @@ impl ConvergenceMonitor for ResidualMonitor<'_> {
     fn check(&mut self, global_iteration: usize, x: &[f64]) -> bool {
         let rr = relative_residual_with(&mut self.scratch, self.a, self.rhs, x);
         self.last_check = Some((global_iteration, rr));
+        self.checks.push((global_iteration, rr));
         rr <= self.tol || !rr.is_finite()
     }
 }

@@ -57,7 +57,7 @@ pub fn conjugate_gradient(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 #[cfg(test)]

@@ -79,7 +79,7 @@ pub fn chebyshev(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Chebyshev with Lanczos-estimated eigenvalue bounds (slightly widened

@@ -56,6 +56,12 @@ pub struct SolveResult {
     /// `record_history`). `history[k]` is the residual after iteration
     /// `k + 1`.
     pub history: Vec<f64>,
+    /// What the live fault runtime did during the solve, when it ran one
+    /// (`None` for every fault-free solver path): detected worker deaths,
+    /// recovery reassignments, per-block frozen spans, isolated panics.
+    /// See [`abr_gpu::FaultReport`] and
+    /// [`solve_faulted`](crate::AsyncBlockSolver::solve_faulted).
+    pub fault: Option<abr_gpu::FaultReport>,
 }
 
 impl SolveResult {
@@ -193,6 +199,7 @@ mod tests {
             converged: true,
             final_residual: 0.1,
             history: vec![0.5, 0.25, 0.1],
+            fault: None,
         };
         assert_eq!(r.residual_at(1), Some(0.5));
         assert_eq!(r.residual_at(3), Some(0.1));

@@ -53,7 +53,7 @@ pub fn gauss_seidel(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Backward Gauss-Seidel sweeps (rows in descending order).
@@ -103,7 +103,7 @@ pub fn gauss_seidel_backward(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Symmetric Gauss-Seidel: one forward followed by one backward sweep per
@@ -164,7 +164,7 @@ pub fn gauss_seidel_symmetric(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Red-black Gauss-Seidel: rows are two-coloured by `colour[i]`, all rows
@@ -225,7 +225,7 @@ pub fn gauss_seidel_red_black(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Multi-colour Gauss-Seidel: rows update colour class by colour class
@@ -289,7 +289,7 @@ pub fn gauss_seidel_multicolor(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Checkerboard colouring for an `m x m` grid ordered row-major.

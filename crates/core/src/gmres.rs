@@ -141,7 +141,7 @@ pub fn gmres<P: Preconditioner>(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Back-substitutes the triangularised Hessenberg system for the `k`

@@ -37,7 +37,9 @@ pub mod scaled;
 pub mod smoother;
 pub mod sor;
 
-pub use async_block::{AsyncBlockSolver, ExecutorKind, LocalSweep, ResidualMonitor, ScheduleKind};
+pub use async_block::{
+    AsyncBlockSolver, ExecutorKind, FaultedSolve, LocalSweep, ResidualMonitor, ScheduleKind,
+};
 pub use bicgstab::bicgstab;
 pub use block_jacobi::block_jacobi;
 pub use cg::conjugate_gradient;

@@ -105,7 +105,7 @@ impl<S: Smoother> Multigrid<S> {
         if opts.tol > 0.0 && final_residual <= opts.tol {
             converged = true;
         }
-        Ok(SolveResult { x, iterations, converged, final_residual, history })
+        Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
     }
 
     fn v_cycle(&self, level: usize, b: &[f64], x: &mut Vec<f64>) -> Result<()> {

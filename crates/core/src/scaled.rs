@@ -59,7 +59,7 @@ pub fn damped_jacobi(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// Damped Jacobi with the optimal `tau = 2/(lambda_1 + lambda_n)`

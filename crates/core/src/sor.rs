@@ -60,7 +60,7 @@ pub fn sor(
     if opts.tol > 0.0 && final_residual <= opts.tol {
         converged = true;
     }
-    Ok(SolveResult { x, iterations, converged, final_residual, history })
+    Ok(SolveResult { x, iterations, converged, final_residual, history, fault: None })
 }
 
 /// The optimal SOR weight from the Jacobi spectral radius `rho_j`.

@@ -2,20 +2,23 @@
 //! workspace's implementation.
 //!
 //! ```text
-//! repro [--scale full|small] [--runs N] [--seed S] [--out DIR] <experiment>...
+//! repro [--scale full|small] [--runs N] [--seed S] [--out DIR]
+//!       [--out-metrics FILE] <experiment>...
 //!
 //! experiments:
 //!   table1 nondet (= table2 table3 fig5) fig6 fig7 table4 fig8 table5
-//!   fig9 fig10 (= table6) fig11 staleness ablation all
+//!   fig9 fig10 (= table6) fig11 staleness ablation recovery all
 //! ```
 //!
 //! Results print as markdown/text; with `--out DIR` each artifact is also
-//! written as CSV.
+//! written as CSV. `--out-metrics FILE` streams one JSONL record per
+//! solve (for the experiments that produce them) to `FILE`.
 
 use abr_exp::experiments::{
-    ablation, comm_staleness, convergence_figs, fault_exp, fig11, fig9, nondet, resilience,
-    table1, theory, timing_tables, verify,
+    ablation, comm_staleness, convergence_figs, fault_exp, fig11, fig9, nondet, recovery,
+    resilience, table1, theory, timing_tables, verify,
 };
+use abr_exp::metrics::{JsonlFileSink, MetricsSink, NullSink};
 use abr_exp::report::{Figure, Table};
 use abr_exp::matrices::full_suite;
 use abr_exp::{ExpOptions, Scale};
@@ -25,17 +28,19 @@ use std::process::ExitCode;
 struct Cli {
     opts: ExpOptions,
     out: Option<PathBuf>,
+    out_metrics: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 const USAGE: &str = "usage: repro [--scale full|small] [--runs N] [--seed S] \
-[--out DIR] <experiment>...\nexperiments: table1 nondet fig6 fig7 table4 fig8 \
-table5 fig9 fig10 fig11 staleness ablation resilience theory verify \
-export-matrices all";
+[--out DIR] [--out-metrics FILE] <experiment>...\nexperiments: table1 nondet \
+fig6 fig7 table4 fig8 table5 fig9 fig10 fig11 staleness ablation recovery \
+resilience theory verify export-matrices all";
 
 fn parse_args() -> Result<Cli, String> {
     let mut opts = ExpOptions::default();
     let mut out = None;
+    let mut out_metrics = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +60,10 @@ fn parse_args() -> Result<Cli, String> {
             "--out" => {
                 out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
             }
+            "--out-metrics" => {
+                out_metrics =
+                    Some(PathBuf::from(args.next().ok_or("--out-metrics needs a value")?));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -66,7 +75,7 @@ fn parse_args() -> Result<Cli, String> {
     if experiments.is_empty() {
         return Err(format!("no experiment given; try `repro all`\n{USAGE}"));
     }
-    Ok(Cli { opts, out, experiments })
+    Ok(Cli { opts, out, out_metrics, experiments })
 }
 
 fn emit_table(t: &Table, out: Option<&Path>, stem: &str) {
@@ -97,7 +106,12 @@ fn emit_figure(f: &Figure, out: Option<&Path>, stem: &str) {
     }
 }
 
-fn run_one(name: &str, opts: &ExpOptions, out: Option<&Path>) -> Result<(), String> {
+fn run_one(
+    name: &str,
+    opts: &ExpOptions,
+    out: Option<&Path>,
+    sink: &mut dyn MetricsSink,
+) -> Result<(), String> {
     let err = |e: abr_sparse::SparseError| format!("{name}: {e}");
     match name {
         "table1" => emit_table(&table1::run(opts).map_err(err)?, out, "table1"),
@@ -134,6 +148,11 @@ fn run_one(name: &str, opts: &ExpOptions, out: Option<&Path>) -> Result<(), Stri
         "staleness" => {
             emit_table(&comm_staleness::run(opts).map_err(err)?, out, "staleness")
         }
+        "recovery" => {
+            let r = recovery::run_with_sink(opts, sink).map_err(err)?;
+            emit_table(&r.table, out, "recovery");
+            emit_figure(&r.figure, out, "recovery_fig10");
+        }
         "resilience" => emit_table(&resilience::run(opts).map_err(err)?, out, "resilience"),
         "theory" => emit_table(&theory::run(opts).map_err(err)?, out, "theory"),
         "verify" => {
@@ -165,10 +184,10 @@ fn run_one(name: &str, opts: &ExpOptions, out: Option<&Path>) -> Result<(), Stri
         "all" => {
             for e in [
                 "table1", "nondet", "fig6", "fig7", "table4", "fig8", "table5", "fig9",
-                "fig10", "fig11", "staleness", "ablation", "resilience", "theory",
+                "fig10", "fig11", "staleness", "ablation", "recovery", "resilience", "theory",
             ] {
                 eprintln!("== running {e} ==");
-                run_one(e, opts, out)?;
+                run_one(e, opts, out, sink)?;
             }
         }
         other => return Err(format!("unknown experiment: {other}")),
@@ -190,11 +209,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let mut sink: Box<dyn MetricsSink> = match &cli.out_metrics {
+        None => Box::new(NullSink),
+        Some(path) => match JsonlFileSink::create(path) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                eprintln!("cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     for name in &cli.experiments {
-        if let Err(e) = run_one(name, &cli.opts, cli.out.as_deref()) {
+        if let Err(e) = run_one(name, &cli.opts, cli.out.as_deref(), sink.as_mut()) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     }
+    sink.flush();
     ExitCode::SUCCESS
 }

@@ -9,6 +9,7 @@ pub mod fault_exp;
 pub mod fig11;
 pub mod fig9;
 pub mod nondet;
+pub mod recovery;
 pub mod resilience;
 pub mod table1;
 pub mod theory;

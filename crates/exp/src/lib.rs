@@ -14,10 +14,12 @@
 
 pub mod experiments;
 pub mod matrices;
+pub mod metrics;
 pub mod report;
 pub mod statistics;
 pub mod svg;
 
+pub use metrics::{JsonlFileSink, MemorySink, MetricsSink, NullSink, RunMetrics};
 pub use report::{Series, Table};
 pub use statistics::RunStatistics;
 

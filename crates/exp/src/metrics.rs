@@ -1,0 +1,280 @@
+//! JSONL run-metrics export (ROADMAP item): one JSON object per solve,
+//! carrying iterations, the residual trajectory, staleness moments, and —
+//! for faulted runs — the full [`FaultReport`]. Built on the same
+//! hand-rolled JSON helpers as [`crate::report`] (no serde in this
+//! workspace), behind a [`MetricsSink`] trait so experiments stay
+//! agnostic of where the lines go (file, memory, nowhere).
+
+use crate::report::{json_escape, json_f64};
+use abr_gpu::{FaultReport, UpdateTrace};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The per-solve record a sink receives.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Experiment name (e.g. `"recovery"`).
+    pub experiment: String,
+    /// Matrix / system label.
+    pub matrix: String,
+    /// Method / configuration label (e.g. `"recovery-(15)"`).
+    pub method: String,
+    /// Global iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Final relative residual.
+    pub final_residual: f64,
+    /// `(global_iteration, relative_residual)` checks, in order — the
+    /// concurrent monitor's trajectory for persistent solves, or the
+    /// recorded history for chunked ones.
+    pub residuals: Vec<(usize, f64)>,
+    /// Realised update skew watermark (`UpdateTrace::max_skew`).
+    pub max_skew: usize,
+    /// Mean neighbour-read staleness shift (Eq. 3 measured).
+    pub mean_shift: f64,
+    /// Fraction of fresh (shift <= 0) neighbour reads.
+    pub fraction_fresh: f64,
+    /// The live fault runtime's report, when the solve ran one.
+    pub fault: Option<FaultReport>,
+}
+
+impl RunMetrics {
+    /// Copies the staleness moments out of an executor trace.
+    pub fn with_trace(mut self, trace: &UpdateTrace) -> RunMetrics {
+        self.max_skew = trace.max_skew;
+        self.mean_shift = trace.staleness.mean_shift();
+        self.fraction_fresh = trace.staleness.fraction_fresh();
+        self
+    }
+
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"experiment\":\"{}\",\"matrix\":\"{}\",\"method\":\"{}\",\
+             \"iterations\":{},\"converged\":{},\"final_residual\":{}",
+            json_escape(&self.experiment),
+            json_escape(&self.matrix),
+            json_escape(&self.method),
+            self.iterations,
+            self.converged,
+            json_f64(self.final_residual),
+        );
+        out.push_str(",\"residuals\":[");
+        for (i, &(it, rr)) in self.residuals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", it, json_f64(rr));
+        }
+        let _ = write!(
+            out,
+            "],\"max_skew\":{},\"mean_shift\":{},\"fraction_fresh\":{}",
+            self.max_skew,
+            json_f64(self.mean_shift),
+            json_f64(self.fraction_fresh),
+        );
+        match &self.fault {
+            None => out.push_str(",\"fault\":null"),
+            Some(f) => {
+                let _ = write!(
+                    out,
+                    ",\"fault\":{{\"caught_panics\":{},\"max_outage_rounds\":{}",
+                    f.caught_panics, f.max_outage_rounds
+                );
+                out.push_str(",\"deaths\":[");
+                for (i, d) in f.deaths.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"worker\":{},\"declared_at\":{},\"detection_lag\":{}}}",
+                        d.worker, d.declared_at, d.detection_lag
+                    );
+                }
+                out.push_str("],\"reassignments\":[");
+                for (i, r) in f.reassignments.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"shard\":{},\"new_owner\":{},\"at_floor\":{}}}",
+                        r.shard, r.new_owner, r.at_floor
+                    );
+                }
+                out.push_str("],\"frozen_spans\":[");
+                for (i, s) in f.frozen_spans.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"block\":{},\"frozen_at\":{},\"outage_rounds\":{},\"thawed\":{}}}",
+                        s.block, s.frozen_at, s.outage_rounds, s.thawed
+                    );
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Where run metrics go. Experiments call [`record`](Self::record) once
+/// per solve; the driver decides the destination.
+pub trait MetricsSink {
+    /// Accepts one solve's record.
+    fn record(&mut self, metrics: &RunMetrics);
+    /// Flushes buffered output (a no-op for most sinks).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything (the default when no `--out-metrics` is given).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn record(&mut self, _metrics: &RunMetrics) {}
+}
+
+/// Collects rendered JSONL lines in memory (tests, programmatic use).
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    /// The recorded lines, one JSON object each.
+    pub lines: Vec<String>,
+}
+
+impl MetricsSink for MemorySink {
+    fn record(&mut self, metrics: &RunMetrics) {
+        self.lines.push(metrics.to_json_line());
+    }
+}
+
+/// Appends one JSON line per record to a file (the `--out-metrics FILE`
+/// sink of the `repro` binary).
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    path: PathBuf,
+    writer: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncating) the metrics file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlFileSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlFileSink { path, writer: std::io::BufWriter::new(file) })
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl MetricsSink for JsonlFileSink {
+    fn record(&mut self, metrics: &RunMetrics) {
+        let line = metrics.to_json_line();
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            eprintln!("warning: could not write metrics to {}: {e}", self.path.display());
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.writer.flush() {
+            eprintln!("warning: could not flush metrics to {}: {e}", self.path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_gpu::persistent::{DeathRecord, FrozenSpan, Reassignment};
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            experiment: "recovery".into(),
+            matrix: "L100".into(),
+            method: "recovery-(15)".into(),
+            iterations: 420,
+            converged: true,
+            final_residual: 3.5e-11,
+            residuals: vec![(10, 0.5), (20, 0.25)],
+            max_skew: 4,
+            mean_shift: 0.75,
+            fraction_fresh: 0.5,
+            fault: Some(FaultReport {
+                deaths: vec![DeathRecord { worker: 1, declared_at: 18, detection_lag: 8 }],
+                reassignments: vec![Reassignment { shard: 1, new_owner: 0, at_floor: 33 }],
+                frozen_spans: vec![FrozenSpan {
+                    block: 3,
+                    frozen_at: 10,
+                    outage_rounds: 23,
+                    thawed: true,
+                }],
+                caught_panics: 0,
+                max_outage_rounds: 23,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_line_carries_every_section() {
+        let line = sample().to_json_line();
+        for needle in [
+            "\"experiment\":\"recovery\"",
+            "\"residuals\":[[10,0.5],[20,0.25]]",
+            "\"max_skew\":4",
+            "\"deaths\":[{\"worker\":1,\"declared_at\":18,\"detection_lag\":8}]",
+            "\"reassignments\":[{\"shard\":1,\"new_owner\":0,\"at_floor\":33}]",
+            "\"frozen_spans\":[{\"block\":3,\"frozen_at\":10,\"outage_rounds\":23,\"thawed\":true}]",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+        assert!(!line.contains('\n'), "one line per record");
+    }
+
+    #[test]
+    fn faultless_record_renders_null_fault() {
+        let m = RunMetrics { fault: None, ..sample() };
+        assert!(m.to_json_line().contains("\"fault\":null"));
+    }
+
+    #[test]
+    fn memory_sink_collects_lines() {
+        let mut sink = MemorySink::default();
+        sink.record(&sample());
+        sink.record(&sample());
+        sink.flush();
+        assert_eq!(sink.lines.len(), 2);
+        assert!(sink.lines[0].starts_with('{') && sink.lines[0].ends_with('}'));
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let path = std::env::temp_dir().join(format!("abr_metrics_{}.jsonl", std::process::id()));
+        let mut sink = JsonlFileSink::create(&path).unwrap();
+        sink.record(&sample());
+        sink.record(&RunMetrics { fault: None, ..sample() });
+        sink.flush();
+        drop(sink);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"fault\":null"));
+    }
+
+    #[test]
+    fn escaping_goes_through_the_shared_shim() {
+        let m = RunMetrics { matrix: "a\"b\\c".into(), ..Default::default() };
+        assert!(m.to_json_line().contains("a\\\"b\\\\c"));
+    }
+}

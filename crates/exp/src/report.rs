@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -24,7 +24,7 @@ fn json_escape(s: &str) -> String {
 
 /// Renders an `f64` as a JSON number (JSON has no inf/nan; they render as
 /// null, matching what a lossy serializer would emit).
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -27,6 +27,31 @@ impl FailureScenario {
         FailureScenario { t0: 10, fraction: 0.25, recovery, seed }
     }
 
+    /// Lowers the scenario onto the live fault runtime: a
+    /// [`FaultPlan`](abr_gpu::FaultPlan) that kills
+    /// `round(fraction * n_workers)` real persistent workers at round
+    /// `t0`, with the recovery delay passed through as the plan's
+    /// recovery-(t_r). Where [`build`](Self::build) produces the
+    /// *analytic* model (an [`UpdateFilter`] silently dropping updates on
+    /// a schedule the solver never observes), `lower` produces the
+    /// *realised* one — workers actually die, the heartbeat protocol
+    /// detects them, and survivors adopt the orphaned blocks. The same
+    /// seed picks the victims deterministically.
+    pub fn lower(&self, n_workers: usize) -> abr_gpu::FaultPlan {
+        let mut idx: Vec<usize> = (0..n_workers).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        idx.shuffle(&mut rng);
+        let n_dead = ((n_workers as f64) * self.fraction).round() as usize;
+        let mut plan = abr_gpu::FaultPlan::new();
+        for &w in idx.iter().take(n_dead) {
+            plan = plan.kill(w, self.t0);
+        }
+        if let Some(tr) = self.recovery {
+            plan = plan.with_recovery(tr);
+        }
+        plan
+    }
+
     /// Materialises the scenario for an `n`-component system.
     pub fn build(&self, n: usize) -> ComponentFailure {
         let mut idx: Vec<usize> = (0..n).collect();
@@ -91,6 +116,20 @@ mod tests {
         assert!(f.active_at(19));
         assert!(!f.active_at(20), "recovered at t0 + tr");
         assert!(!f.active_at(5), "healthy before t0");
+    }
+
+    #[test]
+    fn lowering_kills_the_requested_worker_fraction() {
+        let s = FailureScenario::paper_default(Some(20), 3);
+        let plan = s.lower(8);
+        assert_eq!(plan.faults.len(), 2, "25% of 8 workers");
+        assert!(plan.faults.iter().all(|f| f.at_round == 10));
+        assert_eq!(plan.recovery_rounds, Some(20));
+        let again = s.lower(8);
+        let victims: Vec<usize> = plan.faults.iter().map(|f| f.worker).collect();
+        let victims2: Vec<usize> = again.faults.iter().map(|f| f.worker).collect();
+        assert_eq!(victims, victims2, "same seed, same victims");
+        assert!(FailureScenario::paper_default(None, 3).lower(8).recovery_rounds.is_none());
     }
 
     #[test]

@@ -18,6 +18,19 @@
 //!
 //! [`silent`] additionally models *silent* (undetected) data corruption
 //! and the convergence-delay detector the paper sketches.
+//!
+//! Two realisations of the same scenario live in the workspace. The
+//! [`inject`] types here are the *analytic* model: an
+//! [`UpdateFilter`](inject::UpdateFilter) silently skips the doomed
+//! components of a chunked run, so outage and recovery are simulated by
+//! filtering updates — nothing actually dies. The *realised* model is
+//! `abr_gpu::FaultPlan`, which kills, hangs, or poisons live persistent
+//! workers mid-solve and lets the executor's heartbeat detector and
+//! adoption protocol perform the recovery.
+//! [`FailureScenario::lower`](inject::FailureScenario::lower) bridges
+//! them: it maps one scenario onto a concrete worker count so the two
+//! layers reproduce the same §4.5 sweep (see the `recovery` experiment
+//! and DESIGN.md §8).
 
 pub mod checkpoint;
 pub mod detect;

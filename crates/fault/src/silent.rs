@@ -55,6 +55,7 @@ pub fn run_with_silent_error(
         converged: r2.converged,
         final_residual: r2.final_residual,
         history,
+        fault: None,
     })
 }
 

@@ -38,8 +38,9 @@ pub use halo::HaloExchange;
 pub use kernel::{BlockKernel, BlockScratch, UpdateFilter};
 pub use occupancy::{occupancy, KernelFootprint, Occupancy, SmLimits};
 pub use persistent::{
-    ConvergenceMonitor, NoMonitor, PersistentExecutor, PersistentOptions, PersistentReport,
-    PersistentWorkspace, ShardPlan,
+    ConvergenceMonitor, DeathRecord, FaultKind, FaultPlan, FaultReport, FrozenSpan, NoMonitor,
+    PersistentExecutor, PersistentOptions, PersistentReport, PersistentWorkspace, Reassignment,
+    RunOutcome, ShardPhase, ShardPlan, ShardState, WorkerFault,
 };
 pub use schedule::{BlockSchedule, RandomPermutation, RecurringPattern, RoundRobin};
 pub use sim::{SimExecutor, SimOptions};

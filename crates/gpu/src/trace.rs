@@ -98,11 +98,48 @@ pub struct SkewTracker {
 #[derive(Debug)]
 struct SkewInner {
     progress: Vec<usize>,
-    /// `hist[c]` blocks have progressed exactly `c` times.
+    /// `hist[c]` *live* (unfrozen) blocks have progressed exactly `c`
+    /// times.
     hist: Vec<usize>,
     min_count: usize,
     max_count: usize,
     max_skew: usize,
+    /// Blocks currently excluded from the histogram (a live fault froze
+    /// them: their owner died and nobody may update them until the
+    /// recovery handoff). Their progress is still tracked, but they do
+    /// not pin the floor — the paper's surviving components keep
+    /// iterating during the outage.
+    frozen: Vec<bool>,
+    /// Progress at the moment each currently-frozen block was frozen.
+    frozen_at: Vec<usize>,
+    n_live: usize,
+    /// Completed `(block, frozen_at, outage_rounds, thawed)` spans.
+    spans: Vec<(usize, usize, usize, bool)>,
+    /// Largest realised outage (floor rounds a frozen block missed).
+    max_outage: usize,
+}
+
+impl SkewInner {
+    /// Removes one observation of `count` from the histogram, keeping
+    /// `min_count`/`max_count` tight. No-op bookkeeping when the last
+    /// live block leaves (the bounds then go stale until a thaw re-seeds
+    /// them, and no reader consumes them in between).
+    fn hist_remove(&mut self, count: usize) {
+        self.hist[count] -= 1;
+        if self.n_live == 0 {
+            return;
+        }
+        if count == self.min_count && self.hist[count] == 0 {
+            while self.min_count < self.max_count && self.hist[self.min_count] == 0 {
+                self.min_count += 1;
+            }
+        }
+        if count == self.max_count && self.hist[count] == 0 {
+            while self.max_count > self.min_count && self.hist[self.max_count] == 0 {
+                self.max_count -= 1;
+            }
+        }
+    }
 }
 
 impl SkewTracker {
@@ -115,28 +152,41 @@ impl SkewTracker {
                 min_count: 0,
                 max_count: 0,
                 max_skew: 0,
+                frozen: vec![false; n_blocks],
+                frozen_at: vec![0; n_blocks],
+                n_live: n_blocks,
+                spans: Vec::new(),
+                max_outage: 0,
             }),
             floor: SyncUsize::new(0),
         }
     }
 
-    /// Records one processed dispatch of `block` (commit or skip).
+    /// Records one processed dispatch of `block` (commit or skip). A
+    /// frozen block's stray dispatches (in flight when the freeze landed,
+    /// or raced through a stale shard-state read) still count progress
+    /// but stay outside the histogram until the thaw re-admits them.
     pub fn on_progress(&self, block: usize) {
         let new_floor;
         {
             let mut g = self.inner.lock();
             let old = g.progress[block];
             g.progress[block] = old + 1;
-            g.hist[old] -= 1;
             if g.hist.len() == old + 1 {
                 g.hist.push(0);
             }
+            if g.frozen[block] {
+                return;
+            }
+            g.hist[old] -= 1;
             g.hist[old + 1] += 1;
             if old + 1 > g.max_count {
                 g.max_count = old + 1;
             }
             new_floor = if old == g.min_count && g.hist[old] == 0 {
-                g.min_count += 1;
+                while g.min_count < g.max_count && g.hist[g.min_count] == 0 {
+                    g.min_count += 1;
+                }
                 Some(g.min_count)
             } else {
                 None
@@ -158,6 +208,105 @@ impl SkewTracker {
         }
     }
 
+    /// Freezes `block`: removes it from the histogram so it no longer
+    /// pins the progress floor. Called by the fault runtime when the
+    /// block's owning worker dies — the surviving blocks' floor then
+    /// keeps advancing, which is exactly how the realised staleness bound
+    /// widens from `max_round_lag + 1` to `max_round_lag + 1 + outage`
+    /// (see `abr_gpu::persistent`'s bound re-derivation).
+    pub fn freeze(&self, block: usize) {
+        let new_floor;
+        {
+            let mut g = self.inner.lock();
+            if g.frozen[block] {
+                return;
+            }
+            g.frozen[block] = true;
+            g.frozen_at[block] = g.progress[block];
+            g.n_live -= 1;
+            let count = g.progress[block];
+            let old_min = g.min_count;
+            g.hist_remove(count);
+            new_floor = (g.min_count > old_min && g.n_live > 0).then_some(g.min_count);
+        }
+        if let Some(f) = new_floor {
+            // sync: same monotone-mirror publication as `on_progress` —
+            // outside the lock, conservative-low for racing readers.
+            self.floor.fetch_max(f, Ordering::Relaxed);
+        }
+    }
+
+    /// Thaws `block` after the recovery handoff, re-admitting it to the
+    /// histogram at its (stale) progress count. Returns the realised
+    /// outage length in floor rounds — how far the live floor ran ahead
+    /// of the frozen block — which is the exact widening of the skew
+    /// bound this outage caused. The realised gap is folded into
+    /// [`max_skew`](Self::max_skew): it *is* observed skew.
+    pub fn thaw(&self, block: usize) -> usize {
+        self.thaw_inner(block, true)
+    }
+
+    fn thaw_inner(&self, block: usize, thawed: bool) -> usize {
+        // sync: Relaxed mirror read, taken *before* the lock (facade ops
+        // must not run under a lock — model runtime). The mirror is what
+        // the executor's lag gate runs against, so the outage must be
+        // measured against it: with staggered multi-shard outages the
+        // histogram min can sit *below* the mirror (an earlier thawed
+        // block still catching up) while dispatch is still admitted up to
+        // mirror + lag, and an outage measured only against the min would
+        // under-record the widening. The mirror cannot advance mid-thaw:
+        // it only rises when the histogram min does, and the min is about
+        // to become this block's stale count.
+        let mirror = self.floor.load(Ordering::Relaxed);
+        let mut g = self.inner.lock();
+        if !g.frozen[block] {
+            return 0;
+        }
+        let count = g.progress[block];
+        let outage = if g.n_live == 0 {
+            mirror.saturating_sub(count)
+        } else {
+            mirror.max(g.min_count).saturating_sub(count)
+        };
+        g.frozen[block] = false;
+        g.n_live += 1;
+        g.hist[count] += 1;
+        if g.n_live == 1 {
+            g.min_count = count;
+            g.max_count = count;
+        } else {
+            g.min_count = g.min_count.min(count);
+            g.max_count = g.max_count.max(count);
+        }
+        let skew = g.max_count - g.min_count;
+        if skew > g.max_skew {
+            g.max_skew = skew;
+        }
+        if outage > g.max_outage {
+            g.max_outage = outage;
+        }
+        let frozen_at = g.frozen_at[block];
+        g.spans.push((block, frozen_at, outage, thawed));
+        outage
+        // No floor publication: the true minimum may have *dropped* to
+        // the thawed block's count, and the mirror is monotone. The gate
+        // then runs against a stale-high floor while the block catches
+        // up, which admits dispatch only up to (old floor + lag + 1) —
+        // still within the widened `lag + 1 + outage` envelope, and the
+        // mirror resumes once the floor passes its old value.
+    }
+
+    /// End-of-run reconciliation: folds every still-frozen block's gap
+    /// into the skew and outage accounting (a no-recovery outage is real
+    /// skew even though no thaw ever happened). Call after the workers
+    /// have joined, before reading [`max_skew`](Self::max_skew).
+    pub fn reconcile(&self) {
+        let n = self.inner.lock().frozen.len();
+        for b in 0..n {
+            self.thaw_inner(b, false);
+        }
+    }
+
     /// The current progress floor (minimum over blocks), relaxed.
     #[inline]
     pub fn floor(&self) -> usize {
@@ -169,6 +318,19 @@ impl SkewTracker {
     /// The widest min-to-max spread observed so far.
     pub fn max_skew(&self) -> usize {
         self.inner.lock().max_skew
+    }
+
+    /// Largest realised outage over all freeze/thaw spans, in floor
+    /// rounds. The asserted staleness contract of the persistent
+    /// executor is `max_skew <= max_round_lag + 1 + max_outage`.
+    pub fn max_outage(&self) -> usize {
+        self.inner.lock().max_outage
+    }
+
+    /// The completed `(block, frozen_at_progress, outage_rounds, thawed)`
+    /// spans, in freeze order.
+    pub fn frozen_spans(&self) -> Vec<(usize, usize, usize, bool)> {
+        self.inner.lock().spans.clone()
     }
 }
 
@@ -294,5 +456,91 @@ mod tests {
         }
         assert_eq!(t.max_skew(), 0);
         assert_eq!(t.floor(), 10);
+    }
+
+    /// A frozen block stops pinning the floor; the thaw measures the
+    /// realised outage and folds it into the skew.
+    #[test]
+    fn freeze_releases_the_floor_and_thaw_records_the_outage() {
+        let t = SkewTracker::new(3);
+        // Everyone to 2.
+        for _ in 0..2 {
+            for b in 0..3 {
+                t.on_progress(b);
+            }
+        }
+        assert_eq!(t.floor(), 2);
+        t.freeze(0);
+        // The survivors run 5 more rounds; the floor follows them.
+        for _ in 0..5 {
+            t.on_progress(1);
+            t.on_progress(2);
+        }
+        assert_eq!(t.floor(), 7, "a frozen block must not pin the floor");
+        let outage = t.thaw(0);
+        assert_eq!(outage, 5, "floor 7 minus frozen count 2");
+        assert_eq!(t.max_outage(), 5);
+        assert_eq!(t.max_skew(), 5, "the realised gap is observed skew");
+        let spans = t.frozen_spans();
+        assert_eq!(spans, vec![(0, 2, 5, true)]);
+        // Catch-up: progress on the thawed block does not publish a lower
+        // floor (the mirror is monotone) until it passes the old one.
+        t.on_progress(0);
+        assert_eq!(t.floor(), 7);
+    }
+
+    /// Progress on a frozen block (an in-flight dispatch racing the
+    /// freeze) is counted but stays outside the histogram.
+    #[test]
+    fn frozen_block_progress_is_counted_outside_the_histogram() {
+        let t = SkewTracker::new(2);
+        t.on_progress(0);
+        t.on_progress(1); // floor 1
+        t.freeze(0);
+        t.on_progress(0); // stray dispatch on the frozen block
+        for _ in 0..3 {
+            t.on_progress(1);
+        }
+        assert_eq!(t.floor(), 4);
+        let outage = t.thaw(0);
+        assert_eq!(outage, 2, "floor 4 minus progress 2 (the stray counted)");
+    }
+
+    /// Never-thawed blocks (the no-recovery regime) are folded in by the
+    /// end-of-run reconciliation with `thawed == false`.
+    #[test]
+    fn reconcile_folds_unthawed_spans() {
+        let t = SkewTracker::new(2);
+        t.on_progress(0);
+        t.on_progress(1);
+        t.freeze(0);
+        for _ in 0..4 {
+            t.on_progress(1);
+        }
+        t.reconcile();
+        assert_eq!(t.max_outage(), 4);
+        let spans = t.frozen_spans();
+        assert_eq!(spans, vec![(0, 1, 4, false)]);
+        // Reconciling twice is a no-op.
+        t.reconcile();
+        assert_eq!(t.frozen_spans().len(), 1);
+    }
+
+    /// Freeze/thaw of every block (all workers dead) must not corrupt the
+    /// bookkeeping.
+    #[test]
+    fn freezing_every_block_is_safe() {
+        let t = SkewTracker::new(2);
+        t.on_progress(0);
+        t.on_progress(1);
+        t.freeze(0);
+        t.freeze(1);
+        assert_eq!(t.floor(), 1);
+        t.thaw(1);
+        t.thaw(0);
+        assert_eq!(t.max_outage(), 0, "no live floor ever ran ahead");
+        t.on_progress(0);
+        t.on_progress(1);
+        assert_eq!(t.floor(), 2);
     }
 }

@@ -1,0 +1,165 @@
+//! The recovery-handoff adoption election under the schedule explorer.
+//!
+//! `persistent.rs` reassigns an orphaned shard by a single CAS
+//! (`Released -> Adopted(worker)`): among the survivors probing a
+//! released shard, RMW atomicity picks exactly one owner. The broken
+//! shape — load the state, observe `Released`, then *store* the adopted
+//! tag — lets two survivors both observe `Released` before either store
+//! lands, and both walk away believing they own the shard (double thaw,
+//! double backlog replay, corrupted staleness accounting).
+//!
+//! Three tests: the shipped [`ShardState::try_adopt`] election must come
+//! out single-owner under seeded and bounded-exhaustive schedules, the
+//! load-then-store variant must be *caught* by the explorer, and
+//! [`ShardState::release`] must refuse a shard that was never orphaned
+//! (the spurious-death-declaration guard) no matter how the release races
+//! the orphan.
+//!
+//! Run with `cargo test --features model`.
+#![cfg(feature = "model")]
+
+use block_async_relax::gpu::{ShardPhase, ShardState};
+use block_async_relax::sync::model::{explore_exhaustive, explore_seeded, spawn};
+use block_async_relax::sync::{Ordering, SyncUsize};
+use std::sync::Arc;
+
+/// Survivors racing for one released shard.
+const SURVIVORS: usize = 3;
+
+/// The shipped election on the real state machine: the shard is already
+/// orphaned and released (the monitor's half of the handoff), and every
+/// survivor races [`ShardState::try_adopt`]. Exactly one may win, and the
+/// recorded adopter must be that winner.
+fn cas_adoption() {
+    let shard = Arc::new(ShardState::new());
+    shard.orphan();
+    assert!(shard.release(), "an orphaned shard must release");
+    let wins: Arc<Vec<SyncUsize>> =
+        Arc::new((0..SURVIVORS).map(|_| SyncUsize::new(0)).collect());
+    let workers: Vec<_> = (0..SURVIVORS)
+        .map(|w| {
+            let (shard, wins) = (Arc::clone(&shard), Arc::clone(&wins));
+            spawn(move || {
+                if shard.try_adopt(w) {
+                    // sync: per-worker tally, read post-join.
+                    wins[w].fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join();
+    }
+    // sync: post-join reads — the join edges make every tally exact.
+    let winners: Vec<usize> =
+        (0..SURVIVORS).filter(|&w| wins[w].load(Ordering::Relaxed) > 0).collect();
+    assert_eq!(
+        winners.len(),
+        1,
+        "adoption elected {} owners ({winners:?}), want exactly 1",
+        winners.len()
+    );
+    assert_eq!(shard.probe(), ShardPhase::Adopted, "a released shard with probers must end adopted");
+    assert_eq!(shard.adopter(), Some(winners[0]), "the recorded adopter must be the CAS winner");
+}
+
+/// Mirror of the shard-state encoding, for the deliberately broken
+/// variant below (the real constants are private to `persistent.rs`).
+const RELEASED: usize = 2;
+const ADOPTED_BASE: usize = 3;
+
+/// The broken load-then-store adoption: observe `Released`, then store
+/// the adopted tag. Two survivors can both pass the load before either
+/// store lands — the double-ownership hole `try_adopt`'s CAS closes.
+fn load_then_store_adoption() {
+    let state = Arc::new(SyncUsize::new(RELEASED));
+    let wins = Arc::new(SyncUsize::new(0));
+    let workers: Vec<_> = (0..SURVIVORS)
+        .map(|w| {
+            let (state, wins) = (Arc::clone(&state), Arc::clone(&wins));
+            spawn(move || {
+                // sync: test fixture — the broken shape under audit: the
+                // load and the store are two separate accesses, so the
+                // observation can go stale before the claim lands.
+                if state.load(Ordering::Acquire) == RELEASED {
+                    // sync: test fixture — blind claim; overwrites any
+                    // sibling's claim that raced in between.
+                    state.store(ADOPTED_BASE + w, Ordering::Release);
+                    // sync: win tally, read post-join.
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join();
+    }
+    // sync: post-join read, ordered by the join edges.
+    let n = wins.load(Ordering::Relaxed);
+    assert_eq!(n, 1, "adoption elected {n} owners, want exactly 1");
+}
+
+/// The shipped CAS election is single-owner under seeded and
+/// bounded-preemption-exhaustive schedules.
+#[test]
+fn cas_adoption_elects_exactly_one_owner() {
+    explore_seeded(0xAD097, 1_000, cas_adoption).assert_ok();
+    let outcome = explore_exhaustive(3, 20_000, cas_adoption);
+    outcome.assert_ok();
+    assert!(outcome.schedules > 10, "suspiciously few schedules ({})", outcome.schedules);
+}
+
+/// The explorer must catch the load-then-store variant double-owning the
+/// shard — the seeded search finds an interleaving where two survivors
+/// pass the load before either store.
+#[test]
+fn load_then_store_adoption_double_owns() {
+    let outcome = explore_seeded(0xBAD0, 1_000, load_then_store_adoption);
+    let v = outcome.assert_violation();
+    assert!(
+        v.message.contains("elected"),
+        "unexpected violation (want the double-owner assert): {}",
+        v.message
+    );
+}
+
+/// `release` refuses a never-orphaned shard regardless of how it races
+/// the orphan: a spurious death declaration must not leak a pooled shard
+/// into the adoption protocol.
+#[test]
+fn release_never_leaks_a_pooled_shard() {
+    let body = || {
+        let shard = Arc::new(ShardState::new());
+        let released = Arc::new(SyncUsize::new(0));
+        let monitor = {
+            let (shard, released) = (Arc::clone(&shard), Arc::clone(&released));
+            spawn(move || {
+                if shard.release() {
+                    // sync: outcome tally, read post-join.
+                    released.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let dying = {
+            let shard = Arc::clone(&shard);
+            spawn(move || shard.orphan())
+        };
+        monitor.join();
+        dying.join();
+        let phase = shard.probe();
+        // sync: post-join read — exact under the join edges.
+        if released.load(Ordering::Relaxed) > 0 {
+            assert_eq!(phase, ShardPhase::Released, "a successful release must stick");
+        } else {
+            assert_eq!(
+                phase,
+                ShardPhase::Orphaned,
+                "a refused release must leave the late orphan in place"
+            );
+        }
+    };
+    explore_seeded(0x5E1F, 1_000, body).assert_ok();
+    let outcome = explore_exhaustive(3, 20_000, body);
+    outcome.assert_ok();
+    assert!(outcome.complete, "the two-thread race tree should be fully enumerable");
+}
