@@ -28,7 +28,9 @@ use abr_gpu::{
     UpdateTrace, XView,
 };
 use abr_sparse::block_plan::BlockEll;
-use abr_sparse::{BlockPlan, CsrMatrix, Result, RowPartition};
+use abr_sparse::simd::{f64x4, LANES};
+use abr_sparse::stencil::{StencilBlock, StencilDescriptor};
+use abr_sparse::{BlockPlan, CsrMatrix, Result, RowPartition, SweepTier};
 
 /// Which block-dispatch schedule the solver uses (see
 /// [`abr_gpu::schedule`]).
@@ -194,6 +196,34 @@ impl AsyncBlockSolver {
             self.local_sweep,
         )?;
         self.solve_with_kernel(a, rhs, x0, &kernel, opts, filter)
+    }
+
+    /// Solves with a verified [`StencilDescriptor`] enabling the
+    /// matrix-free sweep tier — the entry point for constant-coefficient
+    /// stencil operators (the `gen::*_stencil` generators return the
+    /// `(matrix, descriptor)` pair). Numerically identical to
+    /// [`solve`](Self::solve): the stencil tier is bit-compatible with
+    /// the stored-matrix tiers, only faster.
+    pub fn solve_with_stencil(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        partition: &RowPartition,
+        descriptor: &StencilDescriptor,
+        opts: &SolveOptions,
+    ) -> Result<SolveResult> {
+        assert_eq!(partition.n(), a.n_rows(), "partition must cover the system");
+        let kernel = AsyncJacobiKernel::with_sweep_and_stencil(
+            a,
+            rhs,
+            partition,
+            self.local_iters,
+            self.damping,
+            self.local_sweep,
+            Some(descriptor),
+        )?;
+        self.solve_with_kernel(a, rhs, x0, &kernel, opts, &AllowAll)
     }
 
     /// Solves with an already-compiled kernel. This lets callers that
@@ -595,6 +625,10 @@ pub struct AsyncJacobiKernel<'a> {
     /// inside the row's own block (columns are sorted, so it's one
     /// contiguous span). Used only by the reference path.
     local_span: Vec<(usize, usize)>,
+    /// Testing/benchmarking hook: pin every block to one sweep tier
+    /// instead of the plan's per-block selection (see
+    /// [`force_tier`](Self::force_tier)).
+    tier_override: Option<SweepTier>,
 }
 
 impl<'a> AsyncJacobiKernel<'a> {
@@ -619,7 +653,23 @@ impl<'a> AsyncJacobiKernel<'a> {
         damping: f64,
         local_sweep: LocalSweep,
     ) -> Result<Self> {
-        let plan = BlockPlan::compile(a, partition)?;
+        Self::with_sweep_and_stencil(a, rhs, partition, local_iters, damping, local_sweep, None)
+    }
+
+    /// Builds the kernel with an optional [`StencilDescriptor`] enabling
+    /// the matrix-free sweep tier. The descriptor is verified against `a`
+    /// during plan compilation; a mismatch is an error, never a silent
+    /// fallback.
+    pub fn with_sweep_and_stencil(
+        a: &'a CsrMatrix,
+        rhs: &'a [f64],
+        partition: &RowPartition,
+        local_iters: usize,
+        damping: f64,
+        local_sweep: LocalSweep,
+        descriptor: Option<&StencilDescriptor>,
+    ) -> Result<Self> {
+        let plan = BlockPlan::compile_with_stencil(a, partition, descriptor)?;
         let n = a.n_rows();
         let mut local_span = Vec::with_capacity(n);
         for r in 0..n {
@@ -629,12 +679,53 @@ impl<'a> AsyncJacobiKernel<'a> {
             let hi = cols.partition_point(|&c| c < block.end);
             local_span.push((lo, hi));
         }
-        Ok(AsyncJacobiKernel { a, rhs, plan, local_iters, damping, local_sweep, local_span })
+        Ok(AsyncJacobiKernel {
+            a,
+            rhs,
+            plan,
+            local_iters,
+            damping,
+            local_sweep,
+            local_span,
+            tier_override: None,
+        })
     }
 
     /// The compiled block plan.
     pub fn plan(&self) -> &BlockPlan {
         &self.plan
+    }
+
+    /// Pins every Jacobi block update to `tier` instead of the plan's
+    /// per-block selection — the hook the equivalence proptests and the
+    /// bench variants use to compare tiers on identical inputs. A tier a
+    /// block has no compiled data for (ELL on a wide block, stencil
+    /// without a descriptor) falls back to that block's compiled tier;
+    /// `None` restores normal dispatch. Gauss-Seidel sweeps ignore this
+    /// (GS is row-sequential and always walks the packed CSR).
+    pub fn force_tier(&mut self, tier: Option<SweepTier>) {
+        self.tier_override = tier;
+    }
+
+    /// The tier block `b`'s Jacobi update will actually dispatch to,
+    /// after applying any [`force_tier`](Self::force_tier) override.
+    pub fn resolved_tier(&self, b: usize) -> SweepTier {
+        let compiled = self.plan.tier(b);
+        match self.tier_override {
+            None => compiled,
+            Some(t) => {
+                let supported = match t {
+                    SweepTier::Csr => true,
+                    SweepTier::Ell | SweepTier::EllSimd => self.plan.ell(b).is_some(),
+                    SweepTier::Stencil => self.plan.stencil_block(b).is_some(),
+                };
+                if supported {
+                    t
+                } else {
+                    compiled
+                }
+            }
+        }
     }
 
     /// Number of nonzeros lying inside the partition's diagonal blocks —
@@ -747,6 +838,116 @@ impl<'a> AsyncJacobiKernel<'a> {
                 let sweep = acc * inv_diag[li];
                 next[li] =
                     if DAMPED { cur[li] + self.damping * (sweep - cur[li]) } else { sweep };
+            }
+            std::mem::swap(cur, next);
+        }
+    }
+
+    /// `k` Jacobi sweeps over the ELL-packed local operator, four rows
+    /// per [`f64x4`] iteration — one row per lane, so every lane runs the
+    /// scalar tier's op sequence (`acc -= v * cur[c]`, two roundings; no
+    /// FMA contraction) and the result is **bit-identical** to
+    /// [`sweeps_jacobi_ell`](Self::sweeps_jacobi_ell). The ELL pad-slot
+    /// invariant is what makes the k-loop branch-free: padding lanes
+    /// multiply `0.0` by the guaranteed-zero `cur[nb]`, for every input
+    /// including non-finite iterates. Rows `nb % 4` run the scalar
+    /// epilogue verbatim.
+    #[inline]
+    fn sweeps_jacobi_ell_simd<const DAMPED: bool>(
+        &self,
+        ell: &BlockEll,
+        inv_diag: &[f64],
+        frozen: &[f64],
+        cur: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+    ) {
+        let nb = ell.rows();
+        let width = ell.width();
+        let cols = ell.cols();
+        let vals = ell.vals();
+        let quads = nb - nb % LANES;
+        let tau = f64x4::splat(self.damping);
+        for _ in 0..self.local_iters {
+            for li in (0..quads).step_by(LANES) {
+                let mut acc = f64x4::load(&frozen[li..]);
+                for k in 0..width {
+                    let idx = k * nb + li;
+                    // product then subtract: the scalar `acc -= v * cur[c]`
+                    acc = acc - f64x4::load(&vals[idx..]) * f64x4::gather_u32(cur, &cols[idx..]);
+                }
+                let sweep = acc * f64x4::load(&inv_diag[li..]);
+                let new = if DAMPED {
+                    let cv = f64x4::load(&cur[li..]);
+                    cv + tau * (sweep - cv)
+                } else {
+                    sweep
+                };
+                new.store(&mut next[li..]);
+            }
+            for li in quads..nb {
+                let mut acc = frozen[li];
+                for k in 0..width {
+                    let idx = k * nb + li;
+                    acc -= vals[idx] * cur[cols[idx] as usize];
+                }
+                let sweep = acc * inv_diag[li];
+                next[li] =
+                    if DAMPED { cur[li] + self.damping * (sweep - cur[li]) } else { sweep };
+            }
+            std::mem::swap(cur, next);
+        }
+    }
+
+    /// `k` Jacobi sweeps over the matrix-free stencil runs: **zero index
+    /// loads** — within a run, the neighbour of row `li` at tap offset
+    /// `d` is `cur[li + d]`, a contiguous four-lane load. Taps are in
+    /// ascending offset order (= source CSR column order) with
+    /// coefficients bit-equal to the stored values (enforced by
+    /// [`StencilDescriptor::verify`]), and each tap contributes the same
+    /// product-then-subtract as the other tiers, so this path too is
+    /// bit-identical to the packed-CSR sweep. Off-block taps are not in
+    /// the runs — they were frozen through the packed halo in step 2.
+    #[inline]
+    fn sweeps_jacobi_stencil<const DAMPED: bool>(
+        &self,
+        sb: &StencilBlock,
+        inv_diag: &[f64],
+        frozen: &[f64],
+        cur: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+    ) {
+        let tau = f64x4::splat(self.damping);
+        for _ in 0..self.local_iters {
+            for run in sb.runs() {
+                let (lo, hi) = (run.lo as usize, run.hi as usize);
+                let len = hi - lo;
+                let quads = len - len % LANES;
+                for q in (0..quads).step_by(LANES) {
+                    let li = lo + q;
+                    let mut acc = f64x4::load(&frozen[li..]);
+                    for &(off, coef) in &run.taps {
+                        // in-block tap: 0 <= li + off, and (li+3) + off < nb
+                        let j = (li as isize + off) as usize;
+                        acc = acc - f64x4::splat(coef) * f64x4::load(&cur[j..]);
+                    }
+                    let sweep = acc * f64x4::load(&inv_diag[li..]);
+                    let new = if DAMPED {
+                        let cv = f64x4::load(&cur[li..]);
+                        cv + tau * (sweep - cv)
+                    } else {
+                        sweep
+                    };
+                    new.store(&mut next[li..]);
+                }
+                for li in lo + quads..hi {
+                    let mut acc = frozen[li];
+                    for &(off, coef) in &run.taps {
+                        acc -= coef * cur[(li as isize + off) as usize];
+                    }
+                    let sweep = acc * inv_diag[li];
+                    next[li] =
+                        if DAMPED { cur[li] + self.damping * (sweep - cur[li]) } else { sweep };
+                }
             }
             std::mem::swap(cur, next);
         }
@@ -871,12 +1072,40 @@ impl BlockKernel for AsyncJacobiKernel<'_> {
         let inv_diag = &self.plan.inv_diag()[start..end];
         let damped = self.damping != 1.0;
         match self.local_sweep {
-            LocalSweep::Jacobi => match (self.plan.ell(b), damped) {
-                (Some(ell), false) => self.sweeps_jacobi_ell::<false>(ell, inv_diag, frozen, cur, next),
-                (Some(ell), true) => self.sweeps_jacobi_ell::<true>(ell, inv_diag, frozen, cur, next),
-                (None, false) => self.sweeps_jacobi_csr::<false>(start, nb, inv_diag, frozen, cur, next),
-                (None, true) => self.sweeps_jacobi_csr::<true>(start, nb, inv_diag, frozen, cur, next),
-            },
+            LocalSweep::Jacobi => {
+                // all four tiers share the freeze above and the op order
+                // inside, so the dispatch is a pure speed choice — every
+                // arm produces the same bits (asserted by the workspace
+                // equivalence proptests)
+                let ell = || self.plan.ell(b).expect("tier resolved against plan");
+                let sten = || self.plan.stencil_block(b).expect("tier resolved against plan");
+                match (self.resolved_tier(b), damped) {
+                    (SweepTier::Stencil, false) => {
+                        self.sweeps_jacobi_stencil::<false>(sten(), inv_diag, frozen, cur, next)
+                    }
+                    (SweepTier::Stencil, true) => {
+                        self.sweeps_jacobi_stencil::<true>(sten(), inv_diag, frozen, cur, next)
+                    }
+                    (SweepTier::EllSimd, false) => {
+                        self.sweeps_jacobi_ell_simd::<false>(ell(), inv_diag, frozen, cur, next)
+                    }
+                    (SweepTier::EllSimd, true) => {
+                        self.sweeps_jacobi_ell_simd::<true>(ell(), inv_diag, frozen, cur, next)
+                    }
+                    (SweepTier::Ell, false) => {
+                        self.sweeps_jacobi_ell::<false>(ell(), inv_diag, frozen, cur, next)
+                    }
+                    (SweepTier::Ell, true) => {
+                        self.sweeps_jacobi_ell::<true>(ell(), inv_diag, frozen, cur, next)
+                    }
+                    (SweepTier::Csr, false) => {
+                        self.sweeps_jacobi_csr::<false>(start, nb, inv_diag, frozen, cur, next)
+                    }
+                    (SweepTier::Csr, true) => {
+                        self.sweeps_jacobi_csr::<true>(start, nb, inv_diag, frozen, cur, next)
+                    }
+                }
+            }
             LocalSweep::GaussSeidel => {
                 if damped {
                     self.sweeps_gs_csr::<true>(start, nb, inv_diag, frozen, cur);
@@ -1237,5 +1466,96 @@ mod tests {
         // diagonal and the left/right couplings: 16 + 2*3*4 = 40.
         assert_eq!(k.nnz_local(), 40);
         assert!(k.nnz_local() < a.nnz());
+    }
+
+    #[test]
+    fn forced_tiers_agree_bitwise_per_block() {
+        // every Jacobi tier — CSR, scalar ELL, f64x4 ELL, matrix-free
+        // stencil — on identical inputs, compared bit for bit; blocks of
+        // 14 rows start mid-grid-row so the stencil runs get clipped taps
+        let a = laplacian_2d_5pt(9);
+        let n = 81;
+        let rhs = a.mul_vec(&vec![1.0; n]).unwrap();
+        let p = RowPartition::uniform(n, 14).unwrap();
+        let d = StencilDescriptor::poisson_2d_5pt(9);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0 - 0.5).collect();
+        for damping in [1.0, 0.85] {
+            let mut k = AsyncJacobiKernel::with_sweep_and_stencil(
+                &a, &rhs, &p, 4, damping, LocalSweep::Jacobi, Some(&d),
+            )
+            .unwrap();
+            let mut base: Vec<Vec<f64>> = Vec::new();
+            for tier in [
+                None,
+                Some(SweepTier::Csr),
+                Some(SweepTier::Ell),
+                Some(SweepTier::EllSimd),
+                Some(SweepTier::Stencil),
+            ] {
+                k.force_tier(tier);
+                let mut scratch = BlockScratch::new();
+                let mut outs = Vec::new();
+                for b in 0..k.n_blocks() {
+                    if let Some(t) = tier {
+                        assert_eq!(k.resolved_tier(b), t, "every tier has data on this system");
+                    }
+                    let (s, e) = k.block_range(b);
+                    let mut out = vec![0.0; e - s];
+                    k.update_block_with(b, &XView::Plain(&x), &mut out, &mut scratch);
+                    outs.push(out);
+                }
+                if base.is_empty() {
+                    base = outs;
+                } else {
+                    for (b, (o, r)) in outs.iter().zip(&base).enumerate() {
+                        for (li, (v1, v2)) in o.iter().zip(r).enumerate() {
+                            assert_eq!(
+                                v1.to_bits(),
+                                v2.to_bits(),
+                                "tier {tier:?} block {b} row {li} tau {damping}: {v1} vs {v2}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incompatible_tier_override_falls_back_to_compiled() {
+        // no descriptor compiled: a Stencil override must quietly resolve
+        // to each block's own tier instead of panicking
+        let a = random_diag_dominant(40, 5, 1.4, 2);
+        let rhs = vec![1.0; 40];
+        let p = RowPartition::uniform(40, 8).unwrap();
+        let mut k = AsyncJacobiKernel::new(&a, &rhs, &p, 2, 1.0).unwrap();
+        k.force_tier(Some(SweepTier::Stencil));
+        let x = vec![0.5; 40];
+        let mut scratch = BlockScratch::new();
+        let mut out = vec![0.0; 8];
+        for b in 0..k.n_blocks() {
+            assert_ne!(k.resolved_tier(b), SweepTier::Stencil);
+            k.update_block_with(b, &XView::Plain(&x), &mut out, &mut scratch);
+        }
+    }
+
+    #[test]
+    fn stencil_solve_matches_plain_solve_bitwise() {
+        // the deterministic Sim executor end to end: enabling the
+        // matrix-free tier must not change one bit of any iterate
+        let (a, rhs, x_true) = solve_setup(10);
+        let n = a.n_rows();
+        let d = StencilDescriptor::poisson_2d_5pt(10);
+        let p = RowPartition::uniform(n, 20).unwrap();
+        let solver = AsyncBlockSolver::async_k(5);
+        let opts = SolveOptions::to_tolerance(1e-11, 4000);
+        let plain = solver.solve(&a, &rhs, &vec![0.0; n], &p, &opts).unwrap();
+        let sten = solver.solve_with_stencil(&a, &rhs, &vec![0.0; n], &p, &d, &opts).unwrap();
+        assert!(sten.converged, "residual {}", sten.final_residual);
+        assert_eq!(plain.iterations, sten.iterations);
+        for ((x1, x2), t) in plain.x.iter().zip(&sten.x).zip(&x_true) {
+            assert_eq!(x1.to_bits(), x2.to_bits(), "{x1} vs {x2}");
+            assert!((x2 - t).abs() < 1e-8);
+        }
     }
 }

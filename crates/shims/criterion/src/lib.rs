@@ -135,6 +135,7 @@ fn run_one(
     full_name: &str,
     samples: usize,
     throughput: Option<Throughput>,
+    meta: &[(String, f64)],
     f: &mut dyn FnMut(&mut Bencher),
 ) {
     // CRITERION_SAMPLES overrides every bench's own sample count and may
@@ -167,13 +168,18 @@ fn run_one(
         if let Ok(mut file) =
             std::fs::OpenOptions::new().create(true).append(true).open(path)
         {
+            let mut extra = String::new();
+            for (key, value) in meta {
+                extra.push_str(&format!(", \"{}\": {}", key.replace('"', "'"), value));
+            }
             let _ = writeln!(
                 file,
-                "{{\"bench\": \"{}\", \"mean_ns\": {}, \"samples\": {}, \"iters\": {}}}",
+                "{{\"bench\": \"{}\", \"mean_ns\": {}, \"samples\": {}, \"iters\": {}{}}}",
                 full_name.replace('"', "'"),
                 ns,
                 bencher.samples,
                 bencher.total_iters,
+                extra,
             );
         }
     }
@@ -197,14 +203,20 @@ impl Criterion {
         id: impl IntoBenchmarkId,
         mut f: F,
     ) -> &mut Self {
-        run_one(&id.into_id(), self.default_samples, None, &mut f);
+        run_one(&id.into_id(), self.default_samples, None, &[], &mut f);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let samples = self.default_samples;
-        BenchmarkGroup { _parent: self, name: name.into(), samples, throughput: None }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples,
+            throughput: None,
+            meta: Vec::new(),
+        }
     }
 }
 
@@ -214,6 +226,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
     throughput: Option<Throughput>,
+    meta: Vec<(String, f64)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -229,6 +242,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Attaches numeric metadata (problem size, nnz, modelled
+    /// bytes-per-update, …) recorded as extra fields on every subsequent
+    /// benchmark's JSON line. Sticky until the next call replaces it.
+    /// Extension over the real criterion API: auditable roofline claims
+    /// need the workload parameters next to the timing.
+    pub fn meta(&mut self, entries: &[(&str, f64)]) -> &mut Self {
+        self.meta = entries.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
@@ -236,7 +259,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into_id());
-        run_one(&full, self.samples, self.throughput, &mut f);
+        run_one(&full, self.samples, self.throughput, &self.meta, &mut f);
         self
     }
 
@@ -248,7 +271,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into_id());
-        run_one(&full, self.samples, self.throughput, &mut |b| f(b, input));
+        run_one(&full, self.samples, self.throughput, &self.meta, &mut |b| f(b, input));
         self
     }
 

@@ -28,12 +28,34 @@
 //! equivalence proptests in the workspace root assert exactly this.
 
 use crate::partition::RowPartition;
+use crate::stencil::{StencilBlock, StencilDescriptor};
 use crate::{CsrMatrix, Result, SparseError};
 
 /// Local-row widths up to this many off-diagonal entries get an
 /// ELL-packed variant of their block (beyond it, padding waste and cache
-/// pressure outweigh the branch-free loop).
-pub const ELL_MAX_WIDTH: usize = 8;
+/// pressure outweigh the branch-free loop). Raised from 8 when the
+/// four-lane vectorized sweep landed: with four rows per iteration the
+/// padding slots ride along in lanes that were already paid for, so wider
+/// rows amortize — e.g. the 9-point FV stencil (width 8, previously right
+/// at the edge) and moderately filled random rows now stay on the packed
+/// path.
+pub const ELL_MAX_WIDTH: usize = 12;
+
+/// Which sweep implementation a block's local operator dispatches to.
+/// Selected per block at [`BlockPlan`] compile time; the kernels match on
+/// it once per block update, outside the hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepTier {
+    /// Packed local CSR rows — the fallback every block supports.
+    Csr,
+    /// Scalar loop over the ELL layout (blocks too narrow to fill
+    /// four-lane groups).
+    Ell,
+    /// Four-row [`crate::simd::f64x4`] lanes over the ELL layout.
+    EllSimd,
+    /// Matrix-free constant-coefficient stencil runs — no index loads.
+    Stencil,
+}
 
 /// A fixed-width, column-major, zero-padded copy of one block's local
 /// operator (diagonal excluded), for branch-free Jacobi sweeps.
@@ -113,6 +135,11 @@ pub struct BlockPlan {
     halo_vals: Vec<f64>,
     /// Per block: ELL-packed local operator for short-row blocks.
     ell: Vec<Option<BlockEll>>,
+    /// Per block: matrix-free stencil runs, when compiled against a
+    /// verified [`StencilDescriptor`].
+    stencil: Vec<Option<StencilBlock>>,
+    /// Per block: the sweep implementation selected at compile time.
+    tier: Vec<SweepTier>,
     /// Per block: total source nonzeros of its rows (virtual cost).
     block_nnz: Vec<f64>,
     /// Per block: sorted indices of the other blocks it reads.
@@ -126,6 +153,22 @@ impl BlockPlan {
     /// Compiles the plan. Fails with [`SparseError::ZeroDiagonal`] when a
     /// row has no (or a zero) diagonal entry, like the kernels it feeds.
     pub fn compile(a: &CsrMatrix, partition: &RowPartition) -> Result<BlockPlan> {
+        Self::compile_with_stencil(a, partition, None)
+    }
+
+    /// Compiles the plan with an optional matrix-free stencil tier. The
+    /// descriptor is [`StencilDescriptor::verify`]-ed against `a` first —
+    /// an `Err` (rather than a silent fallback) when it does not describe
+    /// the matrix exactly, so a caller opting a hand-loaded matrix in
+    /// learns immediately that the fast path would have been wrong.
+    pub fn compile_with_stencil(
+        a: &CsrMatrix,
+        partition: &RowPartition,
+        descriptor: Option<&StencilDescriptor>,
+    ) -> Result<BlockPlan> {
+        if let Some(d) = descriptor {
+            d.verify(a)?;
+        }
         assert!(a.is_square(), "block plans need a square matrix");
         assert_eq!(partition.n(), a.n_rows(), "partition must cover the matrix");
         let n = a.n_rows();
@@ -143,6 +186,8 @@ impl BlockPlan {
         let mut halo_cols: Vec<usize> = Vec::new();
         let mut halo_vals: Vec<f64> = Vec::new();
         let mut ell = Vec::with_capacity(n_blocks);
+        let mut stencil = Vec::with_capacity(n_blocks);
+        let mut tier = Vec::with_capacity(n_blocks);
         let mut block_nnz = Vec::with_capacity(n_blocks);
         let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n_blocks);
         let mut widest_block = 0usize;
@@ -200,6 +245,13 @@ impl BlockPlan {
             } else {
                 None
             });
+            stencil.push(descriptor.map(|d| d.compile_block(blk.start, blk.end)));
+            tier.push(match (stencil.last().unwrap(), ell.last().unwrap()) {
+                (Some(_), _) => SweepTier::Stencil,
+                (None, Some(_)) if nb >= crate::simd::LANES => SweepTier::EllSimd,
+                (None, Some(_)) => SweepTier::Ell,
+                (None, None) => SweepTier::Csr,
+            });
         }
 
         Ok(BlockPlan {
@@ -213,6 +265,8 @@ impl BlockPlan {
             halo_cols,
             halo_vals,
             ell,
+            stencil,
+            tier,
             block_nnz,
             neighbors,
             widest_block,
@@ -291,6 +345,19 @@ impl BlockPlan {
     #[inline]
     pub fn ell(&self, b: usize) -> Option<&BlockEll> {
         self.ell[b].as_ref()
+    }
+
+    /// Matrix-free stencil runs of block `b`, when the plan was compiled
+    /// with a verified [`StencilDescriptor`].
+    #[inline]
+    pub fn stencil_block(&self, b: usize) -> Option<&StencilBlock> {
+        self.stencil[b].as_ref()
+    }
+
+    /// The sweep tier selected for block `b` at compile time.
+    #[inline]
+    pub fn tier(&self, b: usize) -> SweepTier {
+        self.tier[b]
     }
 
     /// Total source nonzeros of block `b`'s rows (virtual update cost).
@@ -401,10 +468,47 @@ mod tests {
     fn wide_blocks_skip_ell() {
         // one big block: local width = full row population of a dense-ish
         // random matrix exceeds ELL_MAX_WIDTH somewhere
-        let a = random_diag_dominant(64, 12, 1.5, 1);
+        let a = random_diag_dominant(64, 16, 1.5, 1);
         let p = RowPartition::uniform(64, 64).unwrap();
         let plan = BlockPlan::compile(&a, &p).unwrap();
         assert!(plan.ell(0).is_none(), "wide rows must not ELL-pack");
+        assert_eq!(plan.tier(0), SweepTier::Csr);
+    }
+
+    #[test]
+    fn tier_selection_fires_in_order() {
+        // ELL-packable block of >= 4 rows: the vectorized tier
+        let a = laplacian_2d_5pt(5);
+        let p = RowPartition::uniform(25, 5).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        for b in 0..plan.n_blocks() {
+            assert_eq!(plan.tier(b), SweepTier::EllSimd);
+            assert!(plan.stencil_block(b).is_none());
+        }
+        // blocks too narrow for a four-lane group: the scalar ELL tier
+        let p = RowPartition::uniform(25, 3).unwrap();
+        let plan = BlockPlan::compile(&a, &p).unwrap();
+        assert!((0..plan.n_blocks())
+            .any(|b| plan.tier(b) == SweepTier::Ell && plan.block_rows(b).1 - plan.block_rows(b).0 < 4));
+        // a verified descriptor beats both
+        let d = crate::stencil::StencilDescriptor::poisson_2d_5pt(5);
+        let p = RowPartition::uniform(25, 5).unwrap();
+        let plan = BlockPlan::compile_with_stencil(&a, &p, Some(&d)).unwrap();
+        for b in 0..plan.n_blocks() {
+            assert_eq!(plan.tier(b), SweepTier::Stencil);
+            assert!(plan.stencil_block(b).is_some(), "stencil runs must be compiled");
+        }
+    }
+
+    #[test]
+    fn stencil_compile_rejects_mismatched_descriptor() {
+        let a = laplacian_2d_5pt(5);
+        let p = RowPartition::uniform(25, 5).unwrap();
+        let d = crate::stencil::StencilDescriptor::fv_9pt(5, 0.0); // wrong stencil
+        assert!(matches!(
+            BlockPlan::compile_with_stencil(&a, &p, Some(&d)).unwrap_err(),
+            SparseError::Stencil(_)
+        ));
     }
 
     #[test]

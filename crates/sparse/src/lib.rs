@@ -39,16 +39,19 @@ pub mod par;
 pub mod partition;
 pub mod reorder;
 pub mod scaling;
+pub mod simd;
 pub mod spectra;
 pub mod stats;
+pub mod stencil;
 
-pub use block_plan::{BlockEll, BlockPlan};
+pub use block_plan::{BlockEll, BlockPlan, SweepTier};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use ell::EllMatrix;
 pub use iteration_matrix::IterationMatrix;
 pub use partition::RowPartition;
+pub use stencil::{GridShape, StencilBlock, StencilDescriptor, StencilTap};
 
 use std::fmt;
 
@@ -91,6 +94,9 @@ pub enum SparseError {
     },
     /// Generator parameter search failed (e.g. bisection bracket invalid).
     Generator(String),
+    /// A stencil descriptor was malformed or failed the cross-check
+    /// against an assembled matrix.
+    Stencil(String),
 }
 
 impl fmt::Display for SparseError {
@@ -110,6 +116,7 @@ impl fmt::Display for SparseError {
                 write!(f, "{what} did not converge within {iterations} iterations")
             }
             SparseError::Generator(msg) => write!(f, "generator error: {msg}"),
+            SparseError::Stencil(msg) => write!(f, "stencil error: {msg}"),
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Explicit four-lane `f64` vectors for the sweep and SpMV kernels.
+//!
+//! Stable-Rust data parallelism: [`f64x4`] is a `#[repr(transparent)]`
+//! newtype over `[f64; 4]` whose fixed-length lane expressions LLVM's
+//! autovectorizer reliably lowers to packed SSE2 instructions (and to
+//! AVX under `-C target-cpu=native`) — no nightly `portable_simd`
+//! required. The CI `bench-smoke` matrix runs the kernels built on this
+//! module under both flag sets so a lowering regression fails loudly.
+//!
+//! # The accumulation-order contract
+//!
+//! The vectorized sweep tiers built on this type are required to be
+//! **bit-identical** to their scalar counterparts: each lane is one row,
+//! and a lane performs exactly the scalar op sequence in the scalar
+//! order. That is why the hot loops use [`f64x4::mul`] followed by
+//! [`f64x4::sub`] — two roundings, the same as the scalar
+//! `acc -= v * x` — and *not* [`f64x4::mul_add`]: a fused multiply-add
+//! rounds once, which changes the bits, and on targets without FMA
+//! hardware it lowers to a libm soft-float call, which is also far
+//! slower. `mul_add` is still provided for estimator-style callers that
+//! tolerate contraction and compile with FMA enabled.
+
+use std::ops::{Add, Mul, Sub};
+
+/// Number of lanes in a [`f64x4`].
+pub const LANES: usize = 4;
+
+/// A four-lane `f64` vector. Named after the `std::simd` convention the
+/// stable channel does not yet expose.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct f64x4(pub [f64; 4]);
+
+impl f64x4 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        f64x4([v; 4])
+    }
+
+    /// Loads the first four elements of `s` (panics when `s.len() < 4`).
+    #[inline(always)]
+    pub fn load(s: &[f64]) -> Self {
+        let a: &[f64; 4] = s[..4].try_into().expect("f64x4::load needs 4 lanes");
+        f64x4(*a)
+    }
+
+    /// Stores the lanes into the first four elements of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [f64]) {
+        out[..4].copy_from_slice(&self.0);
+    }
+
+    /// Gathers `src[idx[j]]` per lane from the first four indices of
+    /// `idx` (the ELL column layout keeps indices as `u32`).
+    #[inline(always)]
+    pub fn gather_u32(src: &[f64], idx: &[u32]) -> Self {
+        f64x4([
+            src[idx[0] as usize],
+            src[idx[1] as usize],
+            src[idx[2] as usize],
+            src[idx[3] as usize],
+        ])
+    }
+
+    /// Lane-wise fused multiply-add `self * b + c` (one rounding per
+    /// lane). **Not** used by the bit-exact sweep tiers — see the module
+    /// docs — and only fast on targets compiled with FMA support.
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        f64x4([
+            self.0[0].mul_add(b.0[0], c.0[0]),
+            self.0[1].mul_add(b.0[1], c.0[1]),
+            self.0[2].mul_add(b.0[2], c.0[2]),
+            self.0[3].mul_add(b.0[3], c.0[3]),
+        ])
+    }
+
+    /// Horizontal sum, left to right (lane 0 first — the order a scalar
+    /// loop over the lanes would use).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        ((self.0[0] + self.0[1]) + self.0[2]) + self.0[3]
+    }
+}
+
+impl Add for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn add(self, o: f64x4) -> f64x4 {
+        f64x4([
+            self.0[0] + o.0[0],
+            self.0[1] + o.0[1],
+            self.0[2] + o.0[2],
+            self.0[3] + o.0[3],
+        ])
+    }
+}
+
+impl Sub for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn sub(self, o: f64x4) -> f64x4 {
+        f64x4([
+            self.0[0] - o.0[0],
+            self.0[1] - o.0[1],
+            self.0[2] - o.0[2],
+            self.0[3] - o.0[3],
+        ])
+    }
+}
+
+impl Mul for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn mul(self, o: f64x4) -> f64x4 {
+        f64x4([
+            self.0[0] * o.0[0],
+            self.0[1] * o.0[1],
+            self.0[2] * o.0[2],
+            self.0[3] * o.0[3],
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arithmetic_matches_scalar_bitwise() {
+        let a = f64x4([1.5, -2.25, 1.0e-300, f64::INFINITY]);
+        let b = f64x4([3.0, 0.1, 7.0e299, 2.0]);
+        let c = f64x4([0.5, -0.5, 1.0, -1.0]);
+        let fused = a.mul_add(b, c);
+        let two_step = a * b + c;
+        for j in 0..LANES {
+            assert_eq!((a + b).0[j].to_bits(), (a.0[j] + b.0[j]).to_bits());
+            assert_eq!((a - b).0[j].to_bits(), (a.0[j] - b.0[j]).to_bits());
+            assert_eq!((a * b).0[j].to_bits(), (a.0[j] * b.0[j]).to_bits());
+            assert_eq!(fused.0[j].to_bits(), a.0[j].mul_add(b.0[j], c.0[j]).to_bits());
+            assert_eq!(two_step.0[j].to_bits(), (a.0[j] * b.0[j] + c.0[j]).to_bits());
+        }
+    }
+
+    #[test]
+    fn load_store_gather_roundtrip() {
+        let src = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let v = f64x4::load(&src[1..]);
+        assert_eq!(v.0, [20.0, 30.0, 40.0, 50.0]);
+        let mut out = [0.0; 6];
+        v.store(&mut out[2..]);
+        assert_eq!(out, [0.0, 0.0, 20.0, 30.0, 40.0, 50.0]);
+        let idx: [u32; 4] = [4, 0, 2, 2];
+        let g = f64x4::gather_u32(&src, &idx);
+        assert_eq!(g.0, [50.0, 10.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn splat_and_reduce() {
+        assert_eq!(f64x4::splat(2.5).0, [2.5; 4]);
+        // reduce order is ((l0 + l1) + l2) + l3, asserted bitwise
+        let v = f64x4([1.0e16, 1.0, -1.0e16, 3.0]);
+        assert_eq!(v.reduce_sum().to_bits(), (((1.0e16_f64 + 1.0) + -1.0e16) + 3.0).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "range end index 4")]
+    fn short_load_panics() {
+        let _ = f64x4::load(&[1.0, 2.0, 3.0]);
+    }
+}

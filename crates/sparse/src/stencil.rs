@@ -1,0 +1,444 @@
+//! Constant-coefficient stencil descriptors and the matrix-free sweep
+//! plans compiled from them.
+//!
+//! Following *Block-Relaxation Methods for 3D Constant-Coefficient
+//! Stencils on GPUs and Multicore CPUs* (arXiv:1208.1975), a relaxation
+//! sweep over a constant-coefficient stencil operator needs **no stored
+//! matrix at all**: every row's entries are the same few coefficients at
+//! arithmetically computable neighbour positions. A [`StencilDescriptor`]
+//! states that structure — the grid shape, the constant centre, and the
+//! off-centre taps — and [`StencilDescriptor::verify`] cross-checks it
+//! entry-by-entry against an assembled [`CsrMatrix`], so generator-built
+//! *and* hand-loaded matrices can opt into the matrix-free tier without
+//! trusting anyone's word for the structure.
+//!
+//! [`StencilDescriptor::compile_block`] lowers the descriptor to a
+//! [`StencilBlock`]: maximal runs of consecutive block rows that share
+//! the same in-block tap set. Inside a run the sweep loop is branch-free
+//! with **zero index loads** — the neighbour of local row `li` at tap
+//! offset `d` is `cur[li + d]`, a contiguous vectorizable load — and the
+//! taps are kept in ascending column order, so the floating-point
+//! accumulation visits entries in exactly the source-CSR order. Rows
+//! whose in-block neighbourhood is clipped by a grid edge or the block
+//! boundary simply form their own (shorter-tap) runs; off-block taps are
+//! the packed-halo entries the kernel freezes before sweeping, same as
+//! every other tier.
+
+use crate::{CsrMatrix, Result, SparseError};
+
+/// The regular grid a constant-coefficient stencil matrix discretises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridShape {
+    /// Row-major `m x m` 2D grid (`n = m²`; node `(i, j)` is row `i*m + j`).
+    Square2d {
+        /// Grid side length.
+        m: usize,
+    },
+    /// Row-major `m x m x m` 3D grid (`n = m³`; node `(i, j, k)` is row
+    /// `(i*m + j)*m + k`).
+    Cube3d {
+        /// Grid side length.
+        m: usize,
+    },
+}
+
+impl GridShape {
+    /// Total number of grid nodes (= matrix rows).
+    pub fn n(&self) -> usize {
+        match *self {
+            GridShape::Square2d { m } => m * m,
+            GridShape::Cube3d { m } => m * m * m,
+        }
+    }
+}
+
+/// One off-centre stencil tap: a grid-coordinate offset and its constant
+/// coefficient. `dk` is ignored (must be 0) on 2D grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StencilTap {
+    /// Offset along the slowest (row-major outermost) grid axis.
+    pub di: i32,
+    /// Offset along the middle axis (the column axis on 2D grids).
+    pub dj: i32,
+    /// Offset along the fastest axis (3D grids only).
+    pub dk: i32,
+    /// The constant coefficient at this offset.
+    pub coef: f64,
+}
+
+/// A verified-able description of a constant-coefficient stencil matrix.
+///
+/// # Examples
+///
+/// ```
+/// use abr_sparse::gen::laplacian_2d_5pt;
+/// use abr_sparse::stencil::StencilDescriptor;
+///
+/// let a = laplacian_2d_5pt(8);
+/// let d = StencilDescriptor::poisson_2d_5pt(8);
+/// assert!(d.verify(&a).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilDescriptor {
+    shape: GridShape,
+    center: f64,
+    /// Sorted by signed row offset, ascending — the order sorted-column
+    /// CSR assembly produces, which the sweeps must reproduce.
+    taps: Vec<StencilTap>,
+}
+
+impl StencilDescriptor {
+    /// Builds a descriptor from a grid shape, centre coefficient, and
+    /// off-centre taps. Taps are sorted by their signed row offset;
+    /// duplicate or zero offsets and a zero centre are rejected.
+    pub fn new(shape: GridShape, center: f64, mut taps: Vec<StencilTap>) -> Result<Self> {
+        if center == 0.0 {
+            return Err(SparseError::Stencil("stencil centre must be nonzero".into()));
+        }
+        if let GridShape::Square2d { .. } = shape {
+            if taps.iter().any(|t| t.dk != 0) {
+                return Err(SparseError::Stencil("2D stencil taps must have dk = 0".into()));
+            }
+        }
+        let d = StencilDescriptor { shape, center, taps: Vec::new() };
+        taps.sort_by_key(|t| d.row_offset(t));
+        for w in taps.windows(2) {
+            if d.row_offset(&w[0]) == d.row_offset(&w[1]) {
+                return Err(SparseError::Stencil("duplicate stencil tap offset".into()));
+            }
+        }
+        if taps.iter().any(|t| d.row_offset(t) == 0) {
+            return Err(SparseError::Stencil("tap at offset 0 duplicates the centre".into()));
+        }
+        Ok(StencilDescriptor { taps, ..d })
+    }
+
+    /// The 2D 5-point Poisson stencil (`gen::laplacian_2d_5pt`): centre
+    /// `4`, the four axis neighbours `-1`.
+    pub fn poisson_2d_5pt(m: usize) -> Self {
+        let t = |di, dj| StencilTap { di, dj, dk: 0, coef: -1.0 };
+        StencilDescriptor::new(
+            GridShape::Square2d { m },
+            4.0,
+            vec![t(-1, 0), t(0, -1), t(0, 1), t(1, 0)],
+        )
+        .expect("static stencil is well-formed")
+    }
+
+    /// The 3D 7-point Poisson stencil (`gen::laplacian_3d_7pt`): centre
+    /// `6`, the six axis neighbours `-1`.
+    pub fn poisson_3d_7pt(m: usize) -> Self {
+        let t = |di, dj, dk| StencilTap { di, dj, dk, coef: -1.0 };
+        StencilDescriptor::new(
+            GridShape::Cube3d { m },
+            6.0,
+            vec![t(-1, 0, 0), t(0, -1, 0), t(0, 0, -1), t(0, 0, 1), t(0, 1, 0), t(1, 0, 0)],
+        )
+        .expect("static stencil is well-formed")
+    }
+
+    /// The ungraded FV stencil (`gen::fv(m, sigma, 0.0)`): the 9-point
+    /// Q1-FEM Laplacian with a diagonal shift — centre `8/3 + sigma`,
+    /// all eight neighbours `-1/3`. (Graded FV matrices are *not*
+    /// constant-coefficient; their verification fails, as it must.)
+    pub fn fv_9pt(m: usize, sigma: f64) -> Self {
+        let mut taps = Vec::with_capacity(8);
+        for di in -1i32..=1 {
+            for dj in -1i32..=1 {
+                if di != 0 || dj != 0 {
+                    taps.push(StencilTap { di, dj, dk: 0, coef: -1.0 / 3.0 });
+                }
+            }
+        }
+        StencilDescriptor::new(GridShape::Square2d { m }, 8.0 / 3.0 + sigma, taps)
+            .expect("static stencil is well-formed")
+    }
+
+    /// The grid shape.
+    pub fn shape(&self) -> GridShape {
+        self.shape
+    }
+
+    /// Matrix rows the descriptor covers.
+    pub fn n(&self) -> usize {
+        self.shape.n()
+    }
+
+    /// The constant centre (diagonal) coefficient.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// The off-centre taps, sorted by signed row offset.
+    pub fn taps(&self) -> &[StencilTap] {
+        &self.taps
+    }
+
+    /// Signed row-index offset of a tap under row-major ordering.
+    fn row_offset(&self, t: &StencilTap) -> i64 {
+        match self.shape {
+            GridShape::Square2d { m } => t.di as i64 * m as i64 + t.dj as i64,
+            GridShape::Cube3d { m } => {
+                (t.di as i64 * m as i64 + t.dj as i64) * m as i64 + t.dk as i64
+            }
+        }
+    }
+
+    /// Whether tap `t` exists at row `r` — every offset coordinate must
+    /// stay on the grid (no wrap-around across a grid edge).
+    fn tap_valid_at(&self, t: &StencilTap, r: usize) -> bool {
+        let on = |c: usize, d: i32, m: usize| {
+            let v = c as i64 + d as i64;
+            v >= 0 && v < m as i64
+        };
+        match self.shape {
+            GridShape::Square2d { m } => {
+                let (i, j) = (r / m, r % m);
+                on(i, t.di, m) && on(j, t.dj, m)
+            }
+            GridShape::Cube3d { m } => {
+                let (i, rem) = (r / (m * m), r % (m * m));
+                let (j, k) = (rem / m, rem % m);
+                on(i, t.di, m) && on(j, t.dj, m) && on(k, t.dk, m)
+            }
+        }
+    }
+
+    /// Cross-checks the descriptor against an assembled matrix, entry by
+    /// entry: every row must hold exactly the valid taps plus the centre,
+    /// in sorted column order, with **bit-equal** coefficient values
+    /// (bit-equality is what makes the matrix-free sweep's arithmetic
+    /// reproduce the stored-matrix sweep; a hand-loaded matrix that
+    /// merely *approximates* the stencil must not opt in).
+    pub fn verify(&self, a: &CsrMatrix) -> Result<()> {
+        let n = self.n();
+        if !a.is_square() || a.n_rows() != n {
+            return Err(SparseError::Stencil(format!(
+                "shape mismatch: descriptor covers {n} rows, matrix is {}x{}",
+                a.n_rows(),
+                a.n_cols()
+            )));
+        }
+        let mismatch = |r: usize, why: String| Err(SparseError::Stencil(format!("row {r}: {why}")));
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            let mut k = 0usize;
+            let check = |col: usize, coef: f64, k: &mut usize| -> Result<()> {
+                if *k >= cols.len() || cols[*k] != col {
+                    return mismatch(r, format!("expected an entry at column {col}"));
+                }
+                if vals[*k].to_bits() != coef.to_bits() {
+                    return mismatch(
+                        r,
+                        format!("column {col} holds {} instead of {coef}", vals[*k]),
+                    );
+                }
+                *k += 1;
+                Ok(())
+            };
+            let mut center_done = false;
+            for t in &self.taps {
+                if !self.tap_valid_at(t, r) {
+                    continue;
+                }
+                let off = self.row_offset(t);
+                if !center_done && off > 0 {
+                    check(r, self.center, &mut k)?;
+                    center_done = true;
+                }
+                check((r as i64 + off) as usize, t.coef, &mut k)?;
+            }
+            if !center_done {
+                check(r, self.center, &mut k)?;
+            }
+            if k != cols.len() {
+                return mismatch(r, format!("{} extra stored entries", cols.len() - k));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the descriptor to the matrix-free sweep plan of one block
+    /// (rows `[start, end)`): maximal runs of consecutive rows sharing an
+    /// in-block tap set. Off-block taps are excluded (the kernel freezes
+    /// them through the packed halo); tap offsets become block-local.
+    pub fn compile_block(&self, start: usize, end: usize) -> StencilBlock {
+        let mut runs: Vec<StencilRun> = Vec::new();
+        let mut taps_here: Vec<(isize, f64)> = Vec::new();
+        for r in start..end {
+            taps_here.clear();
+            for t in &self.taps {
+                if !self.tap_valid_at(t, r) {
+                    continue;
+                }
+                let off = self.row_offset(t);
+                let c = r as i64 + off;
+                if c >= start as i64 && c < end as i64 {
+                    taps_here.push((off as isize, t.coef));
+                }
+            }
+            match runs.last_mut() {
+                Some(run) if run.taps == taps_here => run.hi += 1,
+                _ => runs.push(StencilRun {
+                    lo: (r - start) as u32,
+                    hi: (r - start + 1) as u32,
+                    taps: taps_here.clone(),
+                }),
+            }
+        }
+        StencilBlock { runs }
+    }
+}
+
+/// One maximal run of consecutive block-local rows sharing an in-block
+/// tap set. For every row `li` in `[lo, hi)` and tap `(d, c)`, the local
+/// operator entry is `c` at local column `li + d` — computed, never
+/// loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilRun {
+    /// First block-local row of the run.
+    pub lo: u32,
+    /// One past the last block-local row of the run.
+    pub hi: u32,
+    /// `(block-local row offset, coefficient)` pairs in ascending offset
+    /// order (= the source-CSR accumulation order).
+    pub taps: Vec<(isize, f64)>,
+}
+
+/// The compiled matrix-free sweep plan of one block: its rows partitioned
+/// into [`StencilRun`]s. Every block row belongs to exactly one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilBlock {
+    runs: Vec<StencilRun>,
+}
+
+impl StencilBlock {
+    /// The runs, in ascending row order, covering every block row once.
+    pub fn runs(&self) -> &[StencilRun] {
+        &self.runs
+    }
+
+    /// Total in-block taps across all rows (the per-sweep multiply count,
+    /// which is also the roofline read traffic: one `cur` load per tap).
+    pub fn nnz_local_offdiag(&self) -> usize {
+        self.runs.iter().map(|r| (r.hi - r.lo) as usize * r.taps.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{laplacian_2d_5pt, laplacian_3d_7pt};
+
+    #[test]
+    fn poisson_2d_descriptor_verifies() {
+        let a = laplacian_2d_5pt(7);
+        StencilDescriptor::poisson_2d_5pt(7).verify(&a).unwrap();
+    }
+
+    #[test]
+    fn poisson_3d_descriptor_verifies() {
+        let a = laplacian_3d_7pt(5);
+        StencilDescriptor::poisson_3d_7pt(5).verify(&a).unwrap();
+    }
+
+    #[test]
+    fn wrong_size_rejected() {
+        let a = laplacian_2d_5pt(6);
+        assert!(StencilDescriptor::poisson_2d_5pt(7).verify(&a).is_err());
+    }
+
+    #[test]
+    fn perturbed_matrix_rejected() {
+        // a single flipped value must fail the cross-check: a matrix that
+        // is *almost* the stencil cannot take the matrix-free tier
+        let mut coo = crate::CooMatrix::new(16, 16);
+        let a = laplacian_2d_5pt(4);
+        for r in 0..16 {
+            for (c, v) in a.row_iter(r) {
+                let v = if r == 9 && c == 10 { v + 1e-12 } else { v };
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        let b = coo.to_csr();
+        let err = StencilDescriptor::poisson_2d_5pt(4).verify(&b).unwrap_err();
+        assert!(matches!(err, SparseError::Stencil(ref s) if s.contains("row 9")), "{err}");
+    }
+
+    #[test]
+    fn extra_entry_rejected() {
+        let mut coo = crate::CooMatrix::new(16, 16);
+        let a = laplacian_2d_5pt(4);
+        for r in 0..16 {
+            for (c, v) in a.row_iter(r) {
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        coo.push(0, 7, 1e-30).unwrap(); // spurious coupling
+        let b = coo.to_csr();
+        assert!(StencilDescriptor::poisson_2d_5pt(4).verify(&b).is_err());
+    }
+
+    #[test]
+    fn runs_cover_every_row_once_with_sorted_taps() {
+        let d = StencilDescriptor::poisson_2d_5pt(6);
+        // a block spanning 2.5 grid rows, starting mid-row
+        let (start, end) = (9, 24);
+        let sb = d.compile_block(start, end);
+        let mut covered = 0usize;
+        for run in sb.runs() {
+            assert!(run.lo < run.hi);
+            assert_eq!(run.lo as usize, covered, "runs must tile the block in order");
+            covered = run.hi as usize;
+            for w in run.taps.windows(2) {
+                assert!(w[0].0 < w[1].0, "taps must stay in CSR column order");
+            }
+            for li in run.lo..run.hi {
+                for &(off, _) in &run.taps {
+                    let c = li as isize + off;
+                    assert!(c >= 0 && (c as usize) < end - start, "tap escapes the block");
+                }
+            }
+        }
+        assert_eq!(covered, end - start);
+    }
+
+    #[test]
+    fn in_block_taps_match_the_local_operator() {
+        // cross-check run taps against the BlockPlan's packed local rows
+        let a = laplacian_2d_5pt(6);
+        let d = StencilDescriptor::poisson_2d_5pt(6);
+        d.verify(&a).unwrap();
+        let p = crate::RowPartition::uniform(36, 10).unwrap();
+        let plan = crate::BlockPlan::compile(&a, &p).unwrap();
+        for b in 0..plan.n_blocks() {
+            let (s, e) = plan.block_rows(b);
+            let sb = d.compile_block(s, e);
+            for run in sb.runs() {
+                for li in run.lo..run.hi {
+                    let (lc, lv) = plan.local_row(s + li as usize);
+                    assert_eq!(lc.len(), run.taps.len(), "row {}", s + li as usize);
+                    for (k, &(off, coef)) in run.taps.iter().enumerate() {
+                        assert_eq!(lc[k] as isize, li as isize + off);
+                        assert_eq!(lv[k].to_bits(), coef.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_descriptors_rejected() {
+        let t = |di, dj, coef| StencilTap { di, dj, dk: 0, coef };
+        let shape = GridShape::Square2d { m: 4 };
+        assert!(StencilDescriptor::new(shape, 0.0, vec![t(0, 1, -1.0)]).is_err());
+        assert!(StencilDescriptor::new(shape, 1.0, vec![t(0, 0, -1.0)]).is_err());
+        assert!(StencilDescriptor::new(shape, 1.0, vec![t(0, 1, -1.0), t(0, 1, -2.0)]).is_err());
+        assert!(StencilDescriptor::new(
+            shape,
+            1.0,
+            vec![StencilTap { di: 0, dj: 1, dk: 1, coef: -1.0 }]
+        )
+        .is_err());
+    }
+}

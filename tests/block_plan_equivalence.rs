@@ -11,8 +11,10 @@ use block_async_relax::gpu::schedule::RoundRobin;
 use block_async_relax::gpu::{
     BlockKernel, BlockScratch, SimExecutor, SimOptions, ThreadedExecutor, ThreadedOptions, XView,
 };
-use block_async_relax::sparse::gen::random_diag_dominant;
-use block_async_relax::sparse::RowPartition;
+use block_async_relax::sparse::gen::{
+    fv_stencil, laplacian_2d_5pt_stencil, laplacian_3d_7pt_stencil, random_diag_dominant,
+};
+use block_async_relax::sparse::{RowPartition, SweepTier};
 use proptest::prelude::*;
 
 /// A deterministic, seed-dependent iterate with sign changes and varied
@@ -96,6 +98,132 @@ proptest! {
                 &mut BlockScratch::new(),
             );
             prop_assert_eq!(&out_shared, &out_fresh, "block {}", b);
+        }
+    }
+}
+
+/// Plants `inf`/`-inf`/`NaN` at seed-chosen positions — the iterates of
+/// a divergent run, which the ELL pad slot and both vectorized tiers
+/// must pass through without perturbing a bit.
+fn poison(x: &mut [f64], seed: u64) {
+    let n = x.len() as u64;
+    for j in 0..3u64 {
+        let pos = (seed.wrapping_mul(6364136223846793005).wrapping_add(j * 97) % n) as usize;
+        x[pos] = match j {
+            0 => f64::INFINITY,
+            1 => f64::NEG_INFINITY,
+            _ => f64::NAN,
+        };
+    }
+}
+
+/// Bitwise equality, with two NaNs of any payload counting as equal (the
+/// tiers run identical op sequences, but NaN payload propagation is the
+/// one place IEEE 754 lets hardware differ).
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The vectorized-ELL accumulation-order contract: with both kernels
+    /// pinned to their tier via `force_tier`, the four-lane sweep must
+    /// reproduce the scalar ELL sweep **bit for bit** — including on
+    /// iterates carrying `inf`/`NaN`, which exercise the pad slot inside
+    /// the gather lanes.
+    #[test]
+    fn simd_ell_sweep_is_bit_identical_to_scalar_ell(
+        seed in 0u64..300,
+        n in 8usize..96,
+        block in 2usize..24,
+        k in 1usize..6,
+        damp_percent in 40u64..160,
+        poison_bit in 0usize..2,
+    ) {
+        let a = random_diag_dominant(n, 4, 1.3, seed);
+        let rhs = a.mul_vec(&pseudo_iterate(n, seed ^ 0x77)).expect("square");
+        let p = RowPartition::uniform(n, block).expect("partition");
+        let damping = if damp_percent % 3 == 0 { 1.0 } else { damp_percent as f64 / 100.0 };
+        let mut k_scalar =
+            AsyncJacobiKernel::with_sweep(&a, &rhs, &p, k, damping, LocalSweep::Jacobi)
+                .expect("diag dominant");
+        let mut k_simd =
+            AsyncJacobiKernel::with_sweep(&a, &rhs, &p, k, damping, LocalSweep::Jacobi)
+                .expect("diag dominant");
+        k_scalar.force_tier(Some(SweepTier::Ell));
+        k_simd.force_tier(Some(SweepTier::EllSimd));
+        let mut x = pseudo_iterate(n, seed);
+        if poison_bit == 1 {
+            poison(&mut x, seed);
+        }
+        let mut s1 = BlockScratch::new();
+        let mut s2 = BlockScratch::new();
+        for b in 0..k_scalar.n_blocks() {
+            let (s, e) = k_scalar.block_range(b);
+            let mut out_scalar = vec![0.0; e - s];
+            let mut out_simd = vec![0.0; e - s];
+            k_scalar.update_block_with(b, &XView::Plain(&x), &mut out_scalar, &mut s1);
+            k_simd.update_block_with(b, &XView::Plain(&x), &mut out_simd, &mut s2);
+            for (li, (sv, vv)) in out_scalar.iter().zip(&out_simd).enumerate() {
+                prop_assert!(
+                    bits_eq(*sv, *vv),
+                    "row {} of block {} (k={}, tau={}, poisoned={}): {} vs {}",
+                    li, b, k, damping, poison_bit == 1, sv, vv
+                );
+            }
+        }
+    }
+
+    /// The matrix-free stencil tier against the stored-matrix plan path
+    /// on all three constant-coefficient generators (2D 5-point, 3D
+    /// 7-point, ungraded FV). The acceptance bar is 1 ulp; the tiers
+    /// share op order and bit-equal coefficients, so we assert the
+    /// stronger bitwise property — non-finite iterates included.
+    #[test]
+    fn stencil_sweep_is_bit_identical_to_plan(
+        which in 0usize..3,
+        block in 3usize..30,
+        k in 1usize..5,
+        damp_percent in 50u64..150,
+        seed in 0u64..100,
+        poison_bit in 0usize..2,
+    ) {
+        let (a, d) = match which {
+            0 => laplacian_2d_5pt_stencil(8),
+            1 => laplacian_3d_7pt_stencil(4),
+            _ => fv_stencil(7, 0.45).expect("constant-coefficient fv"),
+        };
+        let n = a.n_rows();
+        let rhs = a.mul_vec(&pseudo_iterate(n, seed ^ 0x1d)).expect("square");
+        let p = RowPartition::uniform(n, block).expect("partition");
+        let damping = if damp_percent % 3 == 0 { 1.0 } else { damp_percent as f64 / 100.0 };
+        let k_sten = AsyncJacobiKernel::with_sweep_and_stencil(
+            &a, &rhs, &p, k, damping, LocalSweep::Jacobi, Some(&d),
+        )
+        .expect("verified stencil");
+        let k_plan = AsyncJacobiKernel::with_sweep(&a, &rhs, &p, k, damping, LocalSweep::Jacobi)
+            .expect("diag dominant");
+        let mut x = pseudo_iterate(n, seed);
+        if poison_bit == 1 {
+            poison(&mut x, seed);
+        }
+        let mut s1 = BlockScratch::new();
+        let mut s2 = BlockScratch::new();
+        for b in 0..k_sten.n_blocks() {
+            prop_assert_eq!(k_sten.resolved_tier(b), SweepTier::Stencil);
+            let (s, e) = k_sten.block_range(b);
+            let mut out_sten = vec![0.0; e - s];
+            let mut out_plan = vec![0.0; e - s];
+            k_sten.update_block_with(b, &XView::Plain(&x), &mut out_sten, &mut s1);
+            k_plan.update_block_with(b, &XView::Plain(&x), &mut out_plan, &mut s2);
+            for (li, (tv, pv)) in out_sten.iter().zip(&out_plan).enumerate() {
+                prop_assert!(
+                    bits_eq(*tv, *pv),
+                    "generator {} row {} of block {} (k={}, tau={}, poisoned={}): {} vs {}",
+                    which, li, b, k, damping, poison_bit == 1, tv, pv
+                );
+            }
         }
     }
 }
