@@ -1,0 +1,12 @@
+//! Thin harness over [`abr_bench::suites::scale`] — the bodies live in
+//! the library so `tests/bench_smoke.rs` can drive them under
+//! `cargo test` too. `ABR_SCALE_GRID` shrinks the grid for smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run(c: &mut Criterion) {
+    abr_bench::suites::scale::all(c);
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

@@ -11,5 +11,6 @@ pub mod executors;
 pub mod experiments;
 pub mod extensions;
 pub mod krylov;
+pub mod scale;
 pub mod spmv;
 pub mod sweeps;

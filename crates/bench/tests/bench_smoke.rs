@@ -14,6 +14,8 @@ fn smoke_criterion() -> Criterion {
     // #[test] running all suites sequentially.
     std::env::set_var("CRITERION_SAMPLES", "1");
     std::env::set_var("CRITERION_SAMPLE_MS", "1");
+    // The scale suite defaults to a million-row grid; smoke it tiny.
+    std::env::set_var("ABR_SCALE_GRID", "48");
     std::env::remove_var("CRITERION_JSON");
     Criterion::default()
 }
@@ -28,5 +30,6 @@ fn every_bench_suite_runs_one_iteration() {
     suites::executors::all(&mut c);
     suites::extensions::all(&mut c);
     suites::krylov::all(&mut c);
+    suites::scale::all(&mut c);
     suites::experiments::all(&mut c);
 }

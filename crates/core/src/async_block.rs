@@ -552,6 +552,19 @@ pub struct ResidualMonitor<'a> {
     tol: f64,
     period: usize,
     scratch: Vec<f64>,
+    /// `‖b‖₂`, cached at construction: the fused fast path normalises the
+    /// workers' `‖b − A x‖²` estimate without touching the matrix.
+    rhs_norm: f64,
+    /// When set, every fused estimate escalates to the exact check — the
+    /// pre-fusion monitor, kept as the benchmark baseline so the scale
+    /// suite can price the fusion.
+    exact_only: bool,
+    /// Fused polls since the last exact check (forced-escalation clock).
+    fused_streak: usize,
+    /// Last exact check landed within [`URGENT_BAND`] of the tolerance:
+    /// the executor's pacing floor is waived so the confirming poll is
+    /// not delayed by the cost of the check that almost stopped.
+    urgent: bool,
     /// `(global_iteration, relative_residual)` of the last check.
     pub last_check: Option<(usize, f64)>,
     /// Every check the monitor performed, in order — the concurrent
@@ -560,6 +573,41 @@ pub struct ResidualMonitor<'a> {
     /// push per `check_every` iterations, nothing per update.
     pub checks: Vec<(usize, f64)>,
 }
+
+/// Safety margin of [`ResidualMonitor`]'s fused fast path: escalate to
+/// the exact check once the fused estimate is within this factor of the
+/// tolerance. The estimate mixes per-block sub-norms published at
+/// slightly different moments of the asynchronous iterate, so near the
+/// stopping point it can sit a little above or below the exact residual
+/// of any one snapshot; the band makes "skip the exact check" a decision
+/// taken only far from convergence, where even a crude estimate cannot
+/// be wrong about the *order of magnitude*.
+pub const FUSED_GUARD_BAND: f64 = 8.0;
+
+/// At most this many consecutive polls may be answered by the fused
+/// estimate before [`ResidualMonitor`] forces an exact check anyway.
+/// Polls are gated on watermark advance (at most one per `period`
+/// global rounds), so this bounds detection lateness to about
+/// `FUSED_FORCE_EXACT_EVERY × period` rounds even when the estimate is
+/// stuck high — the sum is dominated by the *most-lagging* block's
+/// last published sub-norm, which under heavy scheduling skew can sit
+/// orders of magnitude above the live residual. It also keeps the
+/// recorded trajectory coarsely sampled, and means a systematically
+/// over-estimating kernel cannot starve the stopping test. Still an
+/// 8× cut over the pre-fusion exact-check-per-period cost.
+pub const FUSED_FORCE_EXACT_EVERY: usize = 8;
+
+/// Endgame window of [`ResidualMonitor`]: an exact check whose relative
+/// residual lands within this factor above the tolerance marks the run
+/// [`urgent`](crate::ConvergenceMonitor::urgent) — a couple of rounds of
+/// typical contraction away from stopping — and the executor then polls
+/// at full pace instead of sleeping a multiple of the check's cost. A
+/// converging run spends only its last few polls inside the window, so
+/// the waiver buys prompt stop detection for a bounded number of extra
+/// exact checks; a run that *stagnates* inside the window pays full
+/// monitor cost, which is the regime where a tight watch is wanted
+/// anyway.
+pub const URGENT_BAND: f64 = 64.0;
 
 impl<'a> ResidualMonitor<'a> {
     /// A monitor stopping at relative residual `tol`, checking every
@@ -571,9 +619,22 @@ impl<'a> ResidualMonitor<'a> {
             tol,
             period,
             scratch: Vec::new(),
+            rhs_norm: rhs.iter().map(|&b| b * b).sum::<f64>().sqrt(),
+            exact_only: false,
+            fused_streak: 0,
+            urgent: false,
             last_check: None,
             checks: Vec::new(),
         }
+    }
+
+    /// Disables the fused fast path: every poll escalates to the exact
+    /// residual check, as before fusion existed. The scale bench runs
+    /// this as its baseline; it is also the right mode when the recorded
+    /// trajectory must have a point at every single period.
+    pub fn exact_only(mut self) -> Self {
+        self.exact_only = true;
+        self
     }
 
     /// Consumes the monitor, handing back its residual scratch buffer so
@@ -589,10 +650,35 @@ impl ConvergenceMonitor for ResidualMonitor<'_> {
     }
 
     fn check(&mut self, global_iteration: usize, x: &[f64]) -> bool {
+        self.fused_streak = 0;
         let rr = relative_residual_with(&mut self.scratch, self.a, self.rhs, x);
+        self.urgent = rr.is_finite() && rr <= self.tol * URGENT_BAND;
         self.last_check = Some((global_iteration, rr));
         self.checks.push((global_iteration, rr));
         rr <= self.tol || !rr.is_finite()
+    }
+
+    fn fused_check(&mut self, _global_iteration: usize, estimate_sq: f64) -> bool {
+        if self.exact_only || self.rhs_norm == 0.0 {
+            return true;
+        }
+        if self.fused_streak + 1 >= FUSED_FORCE_EXACT_EVERY {
+            return true;
+        }
+        let estimate = estimate_sq.sqrt() / self.rhs_norm;
+        // Escalate on anything suspicious (non-finite estimate: the
+        // divergent regime must reach the exact check, which stops on
+        // it) or anywhere near the tolerance; skip only when the
+        // estimate is comfortably far from converged.
+        if !estimate.is_finite() || estimate <= self.tol * FUSED_GUARD_BAND {
+            return true;
+        }
+        self.fused_streak += 1;
+        false
+    }
+
+    fn urgent(&self) -> bool {
+        self.urgent
     }
 }
 
@@ -979,6 +1065,29 @@ impl<'a> AsyncJacobiKernel<'a> {
         }
     }
 
+    /// Exact residual sub-norm `Σ_i r_i²` of block `b`'s rows at the local
+    /// iterate `cur`, with the off-block contribution frozen in `frozen` —
+    /// one extra pass over the packed local operator. Used by the fused
+    /// estimator when the sweep retains no previous iterate (Gauss-Seidel
+    /// updates in place, and `damping == 0` makes the Jacobi delta
+    /// degenerate).
+    fn local_residual_sq_at(&self, b: usize, cur: &[f64], frozen: &[f64]) -> f64 {
+        let (start, end) = self.plan.block_rows(b);
+        let inv_diag = &self.plan.inv_diag()[start..end];
+        let mut sum = 0.0;
+        for li in 0..end - start {
+            let (lc, lv) = self.plan.local_row(start + li);
+            let mut acc = frozen[li];
+            for (&c, &v) in lc.iter().zip(lv) {
+                acc -= v * cur[c as usize];
+            }
+            // acc still carries the diagonal term: r_i = acc - a_ii * cur_i
+            let r = acc - cur[li] / inv_diag[li];
+            sum += r * r;
+        }
+        sum
+    }
+
     /// `k` Gauss-Seidel sweeps over the packed local CSR. GS is
     /// row-sequential by definition (each row reads the rows above it
     /// from *this* sweep), so it always takes the CSR path.
@@ -1115,6 +1224,53 @@ impl BlockKernel for AsyncJacobiKernel<'_> {
             }
         }
         out.copy_from_slice(&cur[..nb]);
+    }
+
+    fn update_block_estimating(
+        &self,
+        b: usize,
+        x: &XView<'_>,
+        out: &mut [f64],
+        scratch: &mut BlockScratch,
+    ) -> Option<f64> {
+        self.update_block_with(b, x, out, scratch);
+        if self.local_iters == 0 {
+            return None;
+        }
+        let (start, end) = self.plan.block_rows(b);
+        let nb = end - start;
+        let inv_diag = &self.plan.inv_diag()[start..end];
+        match self.local_sweep {
+            LocalSweep::Jacobi if self.damping != 0.0 => {
+                // After the sweeps `cur` holds the committed local iterate
+                // and `next` the previous inner iterate (the final
+                // double-buffer swap), so the Jacobi update law yields the
+                // row residuals of that previous iterate with no matrix
+                // pass at all: new_i = prev_i + τ(sweep_i − prev_i) and
+                // r_i(prev) = a_ii (sweep_i − prev_i), hence
+                // r_i = (new_i − prev_i) / (τ · inv_diag_i). For k = 1
+                // this is exactly the residual of the snapshot the update
+                // read; for k > 1 it trails the committed iterate by one
+                // inner sweep (the monitor's guard band covers that, and
+                // convergence is only ever declared on the exact check).
+                let cur = &scratch.cur[..nb];
+                let prev = &scratch.next[..nb];
+                let inv_tau = 1.0 / self.damping;
+                let mut sum = 0.0;
+                for li in 0..nb {
+                    let r = (cur[li] - prev[li]) * inv_tau / inv_diag[li];
+                    sum += r * r;
+                }
+                Some(sum)
+            }
+            _ => {
+                // Gauss-Seidel updates in place and retains no previous
+                // iterate: price one extra pass over the packed local
+                // operator for the exact local residual at the committed
+                // iterate (≤ 1/k of the sweep cost).
+                Some(self.local_residual_sq_at(b, &scratch.cur[..nb], &scratch.frozen[..nb]))
+            }
+        }
     }
 }
 

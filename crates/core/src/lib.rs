@@ -39,6 +39,7 @@ pub mod sor;
 
 pub use async_block::{
     AsyncBlockSolver, ExecutorKind, FaultedSolve, LocalSweep, ResidualMonitor, ScheduleKind,
+    FUSED_FORCE_EXACT_EVERY, FUSED_GUARD_BAND, URGENT_BAND,
 };
 pub use bicgstab::bicgstab;
 pub use block_jacobi::block_jacobi;

@@ -86,6 +86,30 @@ pub trait BlockKernel: Sync {
         self.update_block(b, x, out);
     }
 
+    /// Like [`update_block_with`](Self::update_block_with), but also
+    /// returns the block's **fused residual sub-norm estimate**:
+    /// `Σ_{i ∈ block} r_i²` where `r_i ≈ (b − A x)_i` is evaluated from
+    /// values the sweep already holds in registers (the off-block halo
+    /// frozen at the snapshot the update read). The estimate prices a
+    /// cheap convergence poll — the persistent executor's monitor reduces
+    /// one slot per block instead of running an O(nnz) SpMV — and is
+    /// **never** the basis for declaring convergence: the executor always
+    /// confirms with the exact residual before stopping.
+    ///
+    /// `None` (the default) means this kernel cannot estimate; the
+    /// executor then leaves the fused slots cold and the monitor keeps
+    /// polling exactly.
+    fn update_block_estimating(
+        &self,
+        b: usize,
+        x: &XView<'_>,
+        out: &mut [f64],
+        scratch: &mut BlockScratch,
+    ) -> Option<f64> {
+        self.update_block_with(b, x, out, scratch);
+        None
+    }
+
     /// Relative virtual duration of one update of block `b`, in arbitrary
     /// units (the DES executor multiplies by a seeded jitter). The default
     /// is proportional to the block's row count.

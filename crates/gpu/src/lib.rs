@@ -25,6 +25,7 @@ pub mod halo;
 pub mod kernel;
 pub mod occupancy;
 pub mod persistent;
+pub mod residual;
 pub mod schedule;
 pub mod sim;
 pub mod threaded;
@@ -42,6 +43,7 @@ pub use persistent::{
     PersistentExecutor, PersistentOptions, PersistentReport, PersistentWorkspace, Reassignment,
     RunOutcome, ShardPhase, ShardPlan, ShardState, WorkerFault,
 };
+pub use residual::ResidualSlots;
 pub use schedule::{BlockSchedule, RandomPermutation, RecurringPattern, RoundRobin};
 pub use sim::{SimExecutor, SimOptions};
 pub use threaded::{ThreadedExecutor, ThreadedOptions};

@@ -33,6 +33,7 @@
 
 use crate::halo::HaloExchange;
 use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
+use crate::residual::ResidualSlots;
 use crate::schedule::BlockSchedule;
 use crate::threaded::acquire_block_flag;
 use crate::trace::{SkewTracker, StalenessHistogram, UpdateTrace};
@@ -423,6 +424,15 @@ pub struct PersistentOptions {
     /// frozen watermark forever — the all-workers-dead termination
     /// guarantee.
     pub stall_timeout: Duration,
+    /// Whether workers publish fused per-block residual sub-norms (via
+    /// [`BlockKernel::update_block_estimating`]) into the workspace's
+    /// [`ResidualSlots`], letting the monitor answer most polls with an
+    /// O(n_blocks) slot reduce instead of an O(n) snapshot + O(nnz)
+    /// exact check ([`ConvergenceMonitor::fused_check`]). The estimate is
+    /// advisory only — stopping always goes through the exact check —
+    /// so disabling this (the bench baseline does, to price the fusion)
+    /// changes cost, never the stopping decision.
+    pub fuse_residuals: bool,
 }
 
 impl Default for PersistentOptions {
@@ -435,6 +445,7 @@ impl Default for PersistentOptions {
             max_round_lag: 1,
             detect_after_rounds: 8,
             stall_timeout: Duration::from_millis(500),
+            fuse_residuals: true,
         }
     }
 }
@@ -458,6 +469,37 @@ pub trait ConvergenceMonitor {
     /// epochs — an asynchronous observer's view). Return `true` to stop
     /// the workers.
     fn check(&mut self, global_iteration: usize, x: &[f64]) -> bool;
+
+    /// The fused fast path, consulted **before** [`check`](Self::check)
+    /// when every block has published a residual sub-norm estimate
+    /// (`estimate_sq ≈ ‖b − A x‖²`, reduced from the workers'
+    /// [`crate::ResidualSlots`] in O(n_blocks)). Return `true` to
+    /// *escalate* — take the snapshot and run the exact check — or
+    /// `false` to skip this poll entirely, on the estimate's word that
+    /// convergence is still far. The estimate can never stop the run:
+    /// only the exact [`check`](Self::check) can, so a lying estimator
+    /// costs extra polls (`false` near convergence) or extra exact
+    /// checks (`true` early), never a wrong answer. The default always
+    /// escalates, which reproduces the pre-fusion behaviour exactly.
+    fn fused_check(&mut self, global_iteration: usize, estimate_sq: f64) -> bool {
+        let _ = (global_iteration, estimate_sq);
+        true
+    }
+
+    /// Whether the last exact [`check`](Self::check) found the run so
+    /// close to stopping that the executor should keep polling at full
+    /// pace instead of applying its expensive-poll pacing floor.
+    /// Consulted right after an escalated check that did not stop the
+    /// run: on a saturated host the wall-clock of an exact check
+    /// includes CPU lost to the workers, and a floor proportional to it
+    /// can sleep the monitor many rounds past the crossing — the one
+    /// moment detection latency is the whole point. A converging run
+    /// spends only its last handful of polls urgent, so waiving the
+    /// floor there costs a bounded number of extra exact checks. The
+    /// default (`false`) keeps cost-proportional pacing unconditionally.
+    fn urgent(&self) -> bool {
+        false
+    }
 }
 
 /// The trivial monitor: never checks, never stops.
@@ -506,6 +548,9 @@ pub struct PersistentWorkspace {
     /// Per-shard count of live workers homed on the shard; the last one
     /// to die orphans it.
     home_alive: Vec<SyncUsize>,
+    /// One epoch-stamped residual sub-norm slot per block, published by
+    /// workers on commit and reduced by the monitor's fused fast path.
+    residuals: ResidualSlots,
 }
 
 impl PersistentWorkspace {
@@ -630,6 +675,7 @@ impl PersistentWorkspace {
         for f in &mut self.in_flight {
             f.set_exclusive(false);
         }
+        self.residuals.reset(nb);
     }
 }
 
@@ -642,8 +688,13 @@ pub struct PersistentReport {
     /// The watermark at which the monitor raised the stop flag, if it
     /// did — this is what a solver should report as its iteration count.
     pub stopped_at: Option<usize>,
-    /// Monitor checks performed.
+    /// Monitor polls that took a snapshot and ran the exact
+    /// [`ConvergenceMonitor::check`].
     pub checks: usize,
+    /// Monitor polls answered by the fused residual estimate alone — an
+    /// O(n_blocks) slot reduce, no snapshot, no exact check. Total polls
+    /// are `checks + fused_checks`.
+    pub fused_checks: usize,
     /// Updates a worker executed from a shard other than its home shard.
     pub stolen_updates: usize,
     /// OS threads spawned — always exactly the worker count, once.
@@ -812,9 +863,11 @@ impl PersistentExecutor {
             ref retired,
             ref shard_state,
             ref home_alive,
+            ref residuals,
             cycle_rounds,
             ..
         } = *ws;
+        let fuse = self.opts.fuse_residuals;
 
         let stop = SyncBool::new(false);
         let active = SyncUsize::new(n_workers);
@@ -1137,15 +1190,25 @@ impl PersistentExecutor {
                                              sweep of block {block} round {round} panics"
                                         );
                                     }
-                                    kernel.update_block_with(
-                                        block,
-                                        &shard_views[s],
-                                        &mut out,
-                                        &mut scratch,
-                                    );
+                                    if fuse {
+                                        kernel.update_block_estimating(
+                                            block,
+                                            &shard_views[s],
+                                            &mut out,
+                                            &mut scratch,
+                                        )
+                                    } else {
+                                        kernel.update_block_with(
+                                            block,
+                                            &shard_views[s],
+                                            &mut out,
+                                            &mut scratch,
+                                        );
+                                        None
+                                    }
                                 },
                             ));
-                            if swept.is_ok() {
+                            if let Ok(estimate) = swept {
                                 for (k, &v) in out.iter().enumerate() {
                                     if filter.component_enabled(bs + k, round) {
                                         xa.set(bs + k, v);
@@ -1155,6 +1218,17 @@ impl PersistentExecutor {
                                 // in-flight flag; cross-thread readers only
                                 // use the count as a staleness sample.
                                 counts[block].fetch_add(1, Ordering::Relaxed);
+                                // Publish the fused residual sub-norm while
+                                // still holding the block's in-flight flag
+                                // (one publisher per slot at a time). The
+                                // estimate is advisory — a poll it answers
+                                // can only skip an exact check, never stop
+                                // the run — so component drops by the fault
+                                // filter merely make it optimistic, which
+                                // the confirmation gate absorbs.
+                                if let Some(sub_norm_sq) = estimate {
+                                    residuals.publish(block, sub_norm_sq);
+                                }
                             } else {
                                 // sync: statistics counter, read after join.
                                 panics.fetch_add(1, Ordering::Relaxed);
@@ -1208,6 +1282,21 @@ impl PersistentExecutor {
             let mut last_t = Instant::now();
             let mut per_round = base_pause;
             let mut idle_pause = base_pause;
+            // Smoothed poll costs, tracked *per poll kind*: a fused
+            // O(n_blocks) reduce and an escalated snapshot + exact check
+            // differ by five orders of magnitude (~200 ns vs ~25 ms of
+            // CPU at a million rows), and the elapsed wall-clock of an
+            // exact check on a saturated host additionally includes the
+            // CPU it lost to the workers. One shared estimate would let
+            // a single escalation throttle the cheap fused polls into
+            // the same sparse cadence as the expensive ones — observed
+            // as the monitor sleeping 15+ rounds past the crossing. The
+            // pacing floor below is set from the cost of whichever poll
+            // kind just ran, so each kind's duty cycle is bounded at
+            // ~1/4 independently.
+            let mut fused_cost = Duration::ZERO;
+            let mut exact_cost = Duration::ZERO;
+            let mut poll_floor = Duration::ZERO;
             // Stall supervision + death detection state. The progress
             // signature folds every heartbeat and the live-worker count;
             // while it does not change, nothing in the system can ever
@@ -1421,22 +1510,63 @@ impl PersistentExecutor {
                         idle_pause = base_pause;
                     }
                     if watermark >= next_check {
-                        for (i, sl) in snap.iter_mut().enumerate() {
-                            *sl = xa.get(i);
-                        }
-                        report.checks += 1;
-                        if monitor.check(watermark, snap) {
-                            report.stopped_at = Some(watermark);
-                            // sync: Release publishes the recorded stop
-                            // watermark (the line above) to any worker
-                            // that Acquire-observes the flag — the
-                            // stop-watermark coherence invariant checked
-                            // by tests/model_stop_watermark.rs.
-                            stop.store(true, Ordering::Release);
+                        let poll_started = Instant::now();
+                        // The fused fast path: when every block has
+                        // published a residual sub-norm, an O(n_blocks)
+                        // reduce prices this poll. `fused_check` may
+                        // *skip* the snapshot + exact check (the
+                        // estimate says convergence is far) but can
+                        // never stop the run — stopping strictly
+                        // requires the exact check below, so a stale or
+                        // lying estimate costs polls, not correctness.
+                        let escalate = match residuals.reduce() {
+                            Some(estimate_sq) => monitor.fused_check(watermark, estimate_sq),
+                            None => true,
+                        };
+                        if escalate {
+                            for (i, sl) in snap.iter_mut().enumerate() {
+                                *sl = xa.get(i);
+                            }
+                            report.checks += 1;
+                            if monitor.check(watermark, snap) {
+                                report.stopped_at = Some(watermark);
+                                // sync: Release publishes the recorded stop
+                                // watermark (the line above) to any worker
+                                // that Acquire-observes the flag — the
+                                // stop-watermark coherence invariant checked
+                                // by tests/model_stop_watermark.rs.
+                                stop.store(true, Ordering::Release);
+                            } else {
+                                next_check = watermark.saturating_add(period);
+                            }
+                            // Smooth towards the observed cost, like the
+                            // per-round estimate: one slow outlier (a page
+                            // fault mid-SpMV) should not triple the pacing
+                            // floor for the rest of the run.
+                            exact_cost = (exact_cost + poll_started.elapsed()) / 2;
+                            // Endgame override: when the check itself says
+                            // the crossing is imminent, pace like a fused
+                            // poll — sleeping 3x an exact check's (possibly
+                            // contention-inflated) wall cost here is how a
+                            // run overshoots the tolerance by many rounds.
+                            poll_floor = if monitor.urgent() {
+                                fused_cost.saturating_mul(3)
+                            } else {
+                                exact_cost.saturating_mul(3)
+                            };
                         } else {
+                            report.fused_checks += 1;
                             next_check = watermark.saturating_add(period);
+                            fused_cost = (fused_cost + poll_started.elapsed()) / 2;
+                            poll_floor = fused_cost.saturating_mul(3);
                         }
-                        continue;
+                        // Fall through to the pacing sleep instead of
+                        // re-polling immediately: when the workers outran
+                        // `next_check` during an expensive poll, an
+                        // unconditional catch-up would chain polls
+                        // back-to-back and pin the monitor at 100% duty —
+                        // exactly what the cost floor below exists to
+                        // prevent.
                     }
                     // Wake around halfway to the expected due time so the
                     // check lands within ~period/2 of the true crossing.
@@ -1445,7 +1575,19 @@ impl PersistentExecutor {
                     // `period` (e.g. `usize::MAX` to mean "never") must
                     // degrade into the max pause, not overflow.
                     let remaining = next_check.saturating_sub(watermark).min(1 << 16) as u32;
-                    let pause = (per_round.saturating_mul(remaining) / 2).clamp(base_pause, max_pause);
+                    let pause = (per_round.saturating_mul(remaining) / 2)
+                        .clamp(base_pause, max_pause)
+                        // The cost-aware floor: sleep at least 3x what the
+                        // last poll of this kind cost, so polling can
+                        // consume at most ~1/4 of the monitor thread's
+                        // wall-clock no matter how expensive the check
+                        // is. Deliberately applied after the clamp — a
+                        // multi-millisecond exact check must be allowed
+                        // to push the pause past `64 * monitor_pause` —
+                        // and reset per poll kind, so one escalation does
+                        // not throttle the nanosecond fused polls that
+                        // follow it.
+                        .max(poll_floor);
                     std::thread::sleep(pause);
                 } else {
                     // Nothing to check (fixed budget or stop already

@@ -1,0 +1,168 @@
+//! Fused per-block residual slots — the monitor's O(n_blocks) poll.
+//!
+//! Every committed block update already knows (to one inner sweep) the
+//! residual of its own rows: the async-(k) sweep computes
+//! `r_i = a_ii (sweep_i − cur_i)` as a by-product of the update law (see
+//! `AsyncJacobiKernel::update_block_estimating` in abr-core). A
+//! [`ResidualSlots`] gives each block one **epoch-stamped slot** to
+//! publish that sub-norm into, so the convergence monitor can estimate
+//! `‖b − A x‖²` by summing `n_blocks` slots instead of running an
+//! O(nnz) SpMV against a fresh snapshot — the locally-accumulated
+//! monitoring of Chow–Frommer–Szyld (arXiv:2009.02015) and Nayak et al.
+//! (arXiv:2003.05361), and the design that keeps the monitor off the
+//! critical path at multi-million-row sizes.
+//!
+//! The estimate is **advisory only**: the persistent executor never stops
+//! on it. A fused poll that crosses the tolerance merely escalates to the
+//! exact `relative_residual_with` confirmation gate; `SolveResult`
+//! tolerances are unchanged.
+//!
+//! # Ordering story
+//!
+//! A publish is two operations: a `Relaxed` store of the value bits,
+//! then a `Release` increment of the slot's epoch. A reader that
+//! `Acquire`-loads a non-zero epoch therefore observes *some* published
+//! value for that slot (the one stamped by that epoch or a newer one —
+//! value and stamp may interleave with a concurrent publish, which is
+//! harmless: both are valid recent estimates). The epoch exists so the
+//! monitor can tell *cold* slots (block never updated since reset — sum
+//! would undercount the residual) from published ones; it never needs to
+//! pair a specific value with a specific epoch.
+
+use abr_sync::{Ordering, SyncU64, SyncUsize};
+
+/// One epoch-stamped `f64` slot per block, written by workers on every
+/// committed update and reduced by the monitor.
+#[derive(Debug, Default)]
+pub struct ResidualSlots {
+    /// Latest published sub-norm `Σ_{i∈block} r_i²`, as f64 bits.
+    val_bits: Vec<SyncU64>,
+    /// Number of publishes since the last reset; 0 = cold.
+    epoch: Vec<SyncUsize>,
+}
+
+impl ResidualSlots {
+    /// An empty slot set; size it with [`reset`](Self::reset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes to `n_blocks` slots and clears every value and epoch.
+    /// Takes `&mut self` (no concurrent readers or writers), so like
+    /// `AtomicF64Vec::reset_from` the modification histories restart
+    /// fresh: after the executor hands the workspace to its threads, no
+    /// reader can observe pre-reset epochs.
+    pub fn reset(&mut self, n_blocks: usize) {
+        if self.val_bits.len() == n_blocks {
+            for v in self.val_bits.iter_mut() {
+                v.set_exclusive(0);
+            }
+            for e in self.epoch.iter_mut() {
+                e.set_exclusive(0);
+            }
+        } else {
+            self.val_bits.clear();
+            self.epoch.clear();
+            self.val_bits.extend((0..n_blocks).map(|_| SyncU64::new(0)));
+            self.epoch.extend((0..n_blocks).map(|_| SyncUsize::new(0)));
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.val_bits.len()
+    }
+
+    /// Whether there are no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.val_bits.is_empty()
+    }
+
+    /// Publishes `sub_norm_sq` as block `b`'s latest residual sub-norm
+    /// and stamps the slot's epoch. Called by the worker that just
+    /// committed an update of `b` (the executor's per-block `in_flight`
+    /// flag guarantees one publisher at a time per slot).
+    #[inline]
+    pub fn publish(&self, b: usize, sub_norm_sq: f64) {
+        // sync: Relaxed value store; the Release epoch bump below is the
+        // publication edge that makes it visible to an Acquire reader
+        self.val_bits[b].store(sub_norm_sq.to_bits(), Ordering::Relaxed);
+        // sync: Release pairs with the monitor's Acquire epoch load in
+        // `reduce` — a reader that sees this stamp sees the value store
+        // sequenced above it (or a newer one)
+        self.epoch[b].fetch_add(1, Ordering::Release);
+    }
+
+    /// Publishes since the last reset for block `b` (0 = cold slot).
+    pub fn epoch_of(&self, b: usize) -> usize {
+        // sync: Acquire pairs with `publish`'s Release stamp, same as the
+        // reduce loop
+        self.epoch[b].load(Ordering::Acquire)
+    }
+
+    /// Sums every slot into a fused estimate of `‖b − A x‖²`.
+    ///
+    /// Returns `None` while any slot is still cold (its block has never
+    /// published since the reset): a partial sum would *undercount* the
+    /// residual and could trigger spurious escalations — or worse,
+    /// spurious confidence — so the monitor polls exactly until every
+    /// block has reported once. One O(n_blocks) pass, no SpMV, no
+    /// snapshot.
+    pub fn reduce(&self) -> Option<f64> {
+        let mut sum = 0.0f64;
+        for (v, e) in self.val_bits.iter().zip(&self.epoch) {
+            // sync: Acquire pairs with `publish`'s Release stamp so a
+            // non-zero epoch implies the slot's value store is visible
+            if e.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            // sync: Relaxed value read; visibility is given by the
+            // Acquire epoch load above, and any torn-in newer value is an
+            // equally valid recent estimate
+            sum += f64::from_bits(v.load(Ordering::Relaxed));
+        }
+        Some(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_slots_refuse_to_reduce() {
+        let mut s = ResidualSlots::new();
+        s.reset(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.reduce(), None);
+        s.publish(0, 1.0);
+        s.publish(2, 4.0);
+        assert_eq!(s.reduce(), None, "slot 1 is still cold");
+        s.publish(1, 2.0);
+        assert_eq!(s.reduce(), Some(7.0));
+        assert_eq!(s.epoch_of(0), 1);
+    }
+
+    #[test]
+    fn publish_overwrites_and_restamps() {
+        let mut s = ResidualSlots::new();
+        s.reset(1);
+        s.publish(0, 9.0);
+        s.publish(0, 0.25);
+        assert_eq!(s.reduce(), Some(0.25));
+        assert_eq!(s.epoch_of(0), 2);
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_clears() {
+        let mut s = ResidualSlots::new();
+        s.reset(2);
+        s.publish(0, 1.0);
+        s.publish(1, 1.0);
+        s.reset(2);
+        assert_eq!(s.reduce(), None, "reset must clear epochs");
+        s.reset(5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

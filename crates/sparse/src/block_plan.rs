@@ -27,7 +27,8 @@
 //! global matrix (floating-point accumulation order is unchanged). The
 //! equivalence proptests in the workspace root assert exactly this.
 
-use crate::partition::RowPartition;
+use crate::par::ParContext;
+use crate::partition::{RowBlock, RowPartition};
 use crate::stencil::{StencilBlock, StencilDescriptor};
 use crate::{CsrMatrix, Result, SparseError};
 
@@ -40,6 +41,10 @@ use crate::{CsrMatrix, Result, SparseError};
 /// at the edge) and moderately filled random rows now stay on the packed
 /// path.
 pub const ELL_MAX_WIDTH: usize = 12;
+
+/// Below this many source nonzeros [`BlockPlan::compile`] stays on one
+/// thread — scoped-thread spawn overhead would dominate the compile.
+pub const PAR_COMPILE_MIN_NNZ: usize = 200_000;
 
 /// Which sweep implementation a block's local operator dispatches to.
 /// Selected per block at [`BlockPlan`] compile time; the kernels match on
@@ -149,6 +154,24 @@ pub struct BlockPlan {
     widest_block: usize,
 }
 
+/// One block's compiled structures with block-relative row pointers,
+/// produced independently of every other block and concatenated in block
+/// order by the merge in [`BlockPlan::compile_with_ctx`].
+struct CompiledBlock {
+    inv_diag: Vec<f64>,
+    local_ptr: Vec<usize>,
+    local_cols: Vec<u32>,
+    local_vals: Vec<f64>,
+    halo_ptr: Vec<usize>,
+    halo_cols: Vec<usize>,
+    halo_vals: Vec<f64>,
+    ell: Option<BlockEll>,
+    stencil: Option<StencilBlock>,
+    tier: SweepTier,
+    nnz: f64,
+    neighbors: Vec<usize>,
+}
+
 impl BlockPlan {
     /// Compiles the plan. Fails with [`SparseError::ZeroDiagonal`] when a
     /// row has no (or a zero) diagonal entry, like the kernels it feeds.
@@ -161,10 +184,39 @@ impl BlockPlan {
     /// an `Err` (rather than a silent fallback) when it does not describe
     /// the matrix exactly, so a caller opting a hand-loaded matrix in
     /// learns immediately that the fast path would have been wrong.
+    ///
+    /// Large matrices (≥ [`PAR_COMPILE_MIN_NNZ`] nonzeros) compile their
+    /// blocks concurrently on one thread per available core; the result is
+    /// bit-identical to the sequential compile (see
+    /// [`BlockPlan::compile_with_ctx`] for the argument).
     pub fn compile_with_stencil(
         a: &CsrMatrix,
         partition: &RowPartition,
         descriptor: Option<&StencilDescriptor>,
+    ) -> Result<BlockPlan> {
+        let threads = if a.nnz() >= PAR_COMPILE_MIN_NNZ {
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).min(8)
+        } else {
+            1
+        };
+        Self::compile_with_ctx(a, partition, descriptor, ParContext::new(threads))
+    }
+
+    /// Compiles the plan with an explicit [`ParContext`] for the per-block
+    /// compile fan-out.
+    ///
+    /// Each block's packed structures depend only on `(a, partition,
+    /// descriptor)` restricted to that block's rows, so blocks compile
+    /// independently (in parallel) and are concatenated **in block order**
+    /// with their row pointers rebased. Every array in the result is
+    /// therefore byte-for-byte identical for every thread count, and the
+    /// first error in block order matches the sequential compile's first
+    /// error (each block reports its own lowest failing row).
+    pub fn compile_with_ctx(
+        a: &CsrMatrix,
+        partition: &RowPartition,
+        descriptor: Option<&StencilDescriptor>,
+        ctx: ParContext,
     ) -> Result<BlockPlan> {
         if let Some(d) = descriptor {
             d.verify(a)?;
@@ -172,19 +224,31 @@ impl BlockPlan {
         assert!(a.is_square(), "block plans need a square matrix");
         assert_eq!(partition.n(), a.n_rows(), "partition must cover the matrix");
         let n = a.n_rows();
+        let blocks = partition.blocks();
         let n_blocks = partition.len();
 
         let mut block_offsets = Vec::with_capacity(n_blocks + 1);
-        block_offsets.extend(partition.blocks().iter().map(|b| b.start));
+        block_offsets.extend(blocks.iter().map(|b| b.start));
         block_offsets.push(n);
 
+        let compiled = ctx.map_indexed(n_blocks, |b| {
+            Self::compile_block(a, partition, &blocks[b], descriptor)
+        });
+
+        // Deterministic merge: blocks concatenate in block order with row
+        // pointers rebased by the running totals, reproducing exactly the
+        // arrays the single-pass sequential loop would have built.
+        let total_local: usize =
+            compiled.iter().map(|c| c.as_ref().map_or(0, |c| c.local_cols.len())).sum();
+        let total_halo: usize =
+            compiled.iter().map(|c| c.as_ref().map_or(0, |c| c.halo_cols.len())).sum();
         let mut inv_diag = vec![0.0f64; n];
         let mut local_row_ptr = Vec::with_capacity(n + 1);
-        let mut local_cols: Vec<u32> = Vec::new();
-        let mut local_vals: Vec<f64> = Vec::new();
+        let mut local_cols: Vec<u32> = Vec::with_capacity(total_local);
+        let mut local_vals: Vec<f64> = Vec::with_capacity(total_local);
         let mut halo_row_ptr = Vec::with_capacity(n + 1);
-        let mut halo_cols: Vec<usize> = Vec::new();
-        let mut halo_vals: Vec<f64> = Vec::new();
+        let mut halo_cols: Vec<usize> = Vec::with_capacity(total_halo);
+        let mut halo_vals: Vec<f64> = Vec::with_capacity(total_halo);
         let mut ell = Vec::with_capacity(n_blocks);
         let mut stencil = Vec::with_capacity(n_blocks);
         let mut tier = Vec::with_capacity(n_blocks);
@@ -195,63 +259,26 @@ impl BlockPlan {
         local_row_ptr.push(0);
         halo_row_ptr.push(0);
 
-        for blk in partition.blocks() {
+        for (blk, part) in blocks.iter().zip(compiled) {
+            let part = part?;
             let nb = blk.len();
             widest_block = widest_block.max(nb);
-            let mut nnz = 0usize;
-            let mut max_local_width = 0usize;
-            let mut nbr_seen = std::collections::BTreeSet::new();
-
-            #[allow(clippy::needless_range_loop)] // r is a global row id, not just an index
-            for r in blk.start..blk.end {
-                let (cols, vals) = a.row(r);
-                nnz += cols.len();
-                let mut found_diag = false;
-                let local_start = local_cols.len();
-                for (&c, &v) in cols.iter().zip(vals) {
-                    if c == r {
-                        if v != 0.0 {
-                            inv_diag[r] = 1.0 / v;
-                            found_diag = true;
-                        }
-                    } else if blk.contains(c) {
-                        local_cols.push((c - blk.start) as u32);
-                        local_vals.push(v);
-                    } else {
-                        halo_cols.push(c);
-                        halo_vals.push(v);
-                        nbr_seen.insert(partition.block_of(c));
-                    }
-                }
-                if !found_diag {
-                    return Err(SparseError::ZeroDiagonal { row: r });
-                }
-                max_local_width = max_local_width.max(local_cols.len() - local_start);
-                local_row_ptr.push(local_cols.len());
-                halo_row_ptr.push(halo_cols.len());
+            inv_diag[blk.start..blk.end].copy_from_slice(&part.inv_diag);
+            let local_base = local_cols.len();
+            let halo_base = halo_cols.len();
+            for i in 1..=nb {
+                local_row_ptr.push(local_base + part.local_ptr[i]);
+                halo_row_ptr.push(halo_base + part.halo_ptr[i]);
             }
-
-            block_nnz.push(nnz as f64);
-            neighbors.push(nbr_seen.into_iter().collect());
-
-            ell.push(if max_local_width <= ELL_MAX_WIDTH && nb > 0 {
-                Some(Self::pack_ell(
-                    &local_row_ptr[blk.start..=blk.end],
-                    &local_cols,
-                    &local_vals,
-                    nb,
-                    max_local_width,
-                ))
-            } else {
-                None
-            });
-            stencil.push(descriptor.map(|d| d.compile_block(blk.start, blk.end)));
-            tier.push(match (stencil.last().unwrap(), ell.last().unwrap()) {
-                (Some(_), _) => SweepTier::Stencil,
-                (None, Some(_)) if nb >= crate::simd::LANES => SweepTier::EllSimd,
-                (None, Some(_)) => SweepTier::Ell,
-                (None, None) => SweepTier::Csr,
-            });
+            local_cols.extend_from_slice(&part.local_cols);
+            local_vals.extend_from_slice(&part.local_vals);
+            halo_cols.extend_from_slice(&part.halo_cols);
+            halo_vals.extend_from_slice(&part.halo_vals);
+            ell.push(part.ell);
+            stencil.push(part.stencil);
+            tier.push(part.tier);
+            block_nnz.push(part.nnz);
+            neighbors.push(part.neighbors);
         }
 
         Ok(BlockPlan {
@@ -270,6 +297,86 @@ impl BlockPlan {
             block_nnz,
             neighbors,
             widest_block,
+        })
+    }
+
+    /// Compiles one block's packed structures, self-contained: row
+    /// pointers are block-relative (rebased during the merge) and the
+    /// content per row is computed exactly as the sequential loop did, so
+    /// concatenation in block order reproduces it bit-for-bit.
+    fn compile_block(
+        a: &CsrMatrix,
+        partition: &RowPartition,
+        blk: &RowBlock,
+        descriptor: Option<&StencilDescriptor>,
+    ) -> Result<CompiledBlock> {
+        let nb = blk.len();
+        let mut inv_diag = vec![0.0f64; nb];
+        let mut local_ptr = Vec::with_capacity(nb + 1);
+        let mut local_cols: Vec<u32> = Vec::new();
+        let mut local_vals: Vec<f64> = Vec::new();
+        let mut halo_ptr = Vec::with_capacity(nb + 1);
+        let mut halo_cols: Vec<usize> = Vec::new();
+        let mut halo_vals: Vec<f64> = Vec::new();
+        local_ptr.push(0);
+        halo_ptr.push(0);
+        let mut nnz = 0usize;
+        let mut max_local_width = 0usize;
+        let mut nbr_seen = std::collections::BTreeSet::new();
+
+        for r in blk.start..blk.end {
+            let (cols, vals) = a.row(r);
+            nnz += cols.len();
+            let mut found_diag = false;
+            let local_start = local_cols.len();
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == r {
+                    if v != 0.0 {
+                        inv_diag[r - blk.start] = 1.0 / v;
+                        found_diag = true;
+                    }
+                } else if blk.contains(c) {
+                    local_cols.push((c - blk.start) as u32);
+                    local_vals.push(v);
+                } else {
+                    halo_cols.push(c);
+                    halo_vals.push(v);
+                    nbr_seen.insert(partition.block_of(c));
+                }
+            }
+            if !found_diag {
+                return Err(SparseError::ZeroDiagonal { row: r });
+            }
+            max_local_width = max_local_width.max(local_cols.len() - local_start);
+            local_ptr.push(local_cols.len());
+            halo_ptr.push(halo_cols.len());
+        }
+
+        let ell = if max_local_width <= ELL_MAX_WIDTH && nb > 0 {
+            Some(Self::pack_ell(&local_ptr, &local_cols, &local_vals, nb, max_local_width))
+        } else {
+            None
+        };
+        let stencil = descriptor.map(|d| d.compile_block(blk.start, blk.end));
+        let tier = match (&stencil, &ell) {
+            (Some(_), _) => SweepTier::Stencil,
+            (None, Some(_)) if nb >= crate::simd::LANES => SweepTier::EllSimd,
+            (None, Some(_)) => SweepTier::Ell,
+            (None, None) => SweepTier::Csr,
+        };
+        Ok(CompiledBlock {
+            inv_diag,
+            local_ptr,
+            local_cols,
+            local_vals,
+            halo_ptr,
+            halo_cols,
+            halo_vals,
+            ell,
+            stencil,
+            tier,
+            nnz: nnz as f64,
+            neighbors: nbr_seen.into_iter().collect(),
         })
     }
 
@@ -533,6 +640,50 @@ mod tests {
             BlockPlan::compile(&a, &p).unwrap_err(),
             SparseError::ZeroDiagonal { row: 1 }
         );
+    }
+
+    #[test]
+    fn parallel_compile_is_bit_identical_to_sequential() {
+        let a = laplacian_2d_5pt(12);
+        let d = crate::stencil::StencilDescriptor::poisson_2d_5pt(12);
+        for block in [5usize, 12, 31, 144] {
+            let p = RowPartition::uniform(144, block).unwrap();
+            for desc in [None, Some(&d)] {
+                let seq =
+                    BlockPlan::compile_with_ctx(&a, &p, desc, ParContext::new(1)).unwrap();
+                for threads in [2usize, 3, 7, 16] {
+                    let par =
+                        BlockPlan::compile_with_ctx(&a, &p, desc, ParContext::new(threads))
+                            .unwrap();
+                    assert_eq!(seq, par, "block {block} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_compile_reports_the_sequential_first_error() {
+        // rows 5 and 9 both lack a diagonal; every thread count must
+        // report row 5 (the sequential first failure)
+        let mut coo = crate::CooMatrix::new(12, 12);
+        for r in 0..12 {
+            if r != 5 && r != 9 {
+                coo.push(r, r, 2.0).unwrap();
+            }
+            if r + 1 < 12 {
+                coo.push(r, r + 1, -1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let p = RowPartition::uniform(12, 2).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                BlockPlan::compile_with_ctx(&a, &p, None, ParContext::new(threads))
+                    .unwrap_err(),
+                SparseError::ZeroDiagonal { row: 5 },
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,19 +1,55 @@
 //! MatrixMarket coordinate-format I/O.
 //!
 //! Supports the subset of the format used by the University of Florida
-//! collection: `matrix coordinate real {general|symmetric}`. Symmetric
-//! files store only the lower triangle; reading expands them.
+//! collection: `matrix coordinate {real|integer} {general|symmetric}`.
+//! Symmetric files store only the lower triangle; reading expands them.
+//!
+//! The reader is built for multi-million-entry files: the stream is
+//! slurped once into a byte buffer, the entry region is split into
+//! line-aligned chunks that parse concurrently on a [`ParContext`], and
+//! the per-chunk triplets are merged back **in file order** before a
+//! single CSR build. Because the merge is stable, the resulting matrix is
+//! bit-identical for every thread count (duplicate entries sum in file
+//! order either way).
 
-use crate::{CooMatrix, CsrMatrix, Result, SparseError};
-use std::io::{BufRead, BufReader, Read, Write};
+use crate::{CooMatrix, CsrMatrix, ParContext, Result, SparseError};
+use std::io::{Read, Write};
+use std::path::Path;
 
 /// Reads a MatrixMarket coordinate file into CSR.
+///
+/// Uses one parse thread per available core (capped at 8); see
+/// [`read_matrix_market_with`] to pin the thread count. The result is
+/// identical for every thread count.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
-    let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| SparseError::Parse("empty file".into()))?
+    let threads =
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).min(8);
+    read_matrix_market_with(reader, ParContext::new(threads))
+}
+
+/// Reads a MatrixMarket file from `path` (buffered, chunk-parallel).
+pub fn read_matrix_market_path<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| SparseError::Parse(format!("open {:?}: {e}", path.as_ref())))?;
+    read_matrix_market(file)
+}
+
+/// Reads a MatrixMarket coordinate file into CSR with an explicit
+/// [`ParContext`] for the chunk-parallel entry parse.
+pub fn read_matrix_market_with<R: Read>(mut reader: R, ctx: ParContext) -> Result<CsrMatrix> {
+    // One buffered slurp: a single large read beats line-at-a-time
+    // BufReader traffic and gives the chunk splitter random access.
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
         .map_err(|e| SparseError::Parse(e.to_string()))?;
+    let mut pos = 0usize;
+
+    let header = next_line(&bytes, &mut pos)
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?;
+    let header = std::str::from_utf8(header)
+        .map_err(|_| SparseError::Parse("header is not valid UTF-8".into()))?
+        .to_string();
     let head = header.to_ascii_lowercase();
     if !head.starts_with("%%matrixmarket") {
         return Err(SparseError::Parse("missing %%MatrixMarket header".into()));
@@ -22,24 +58,52 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
     if fields.len() < 5 || fields[1] != "matrix" || fields[2] != "coordinate" {
         return Err(SparseError::Parse(format!("unsupported header: {header}")));
     }
-    if fields[3] != "real" && fields[3] != "integer" {
-        return Err(SparseError::Parse(format!("unsupported field type: {}", fields[3])));
+    match fields[3] {
+        "real" | "integer" => {}
+        "pattern" => {
+            return Err(SparseError::Parse(
+                "unsupported MatrixMarket field qualifier `pattern`: the file \
+                 stores structure only (no numeric values); only `real` and \
+                 `integer` coordinate matrices are supported"
+                    .into(),
+            ))
+        }
+        "complex" => {
+            return Err(SparseError::Parse(
+                "unsupported MatrixMarket field qualifier `complex`: entries \
+                 carry two values (re, im); only `real` and `integer` \
+                 coordinate matrices are supported"
+                    .into(),
+            ))
+        }
+        other => {
+            return Err(SparseError::Parse(format!("unsupported field type: {other}")))
+        }
     }
     let symmetric = match fields[4] {
         "general" => false,
         "symmetric" => true,
+        q @ ("skew-symmetric" | "hermitian") => {
+            return Err(SparseError::Parse(format!(
+                "unsupported MatrixMarket symmetry qualifier `{q}`: only \
+                 `general` and `symmetric` are supported"
+            )))
+        }
         other => return Err(SparseError::Parse(format!("unsupported symmetry: {other}"))),
     };
 
     // Skip comments, read size line.
     let mut size_line = None;
-    for line in lines.by_ref() {
-        let line = line.map_err(|e| SparseError::Parse(e.to_string()))?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
+    while let Some(line) = next_line(&bytes, &mut pos) {
+        let t = trim_ascii(line);
+        if t.is_empty() || t[0] == b'%' {
             continue;
         }
-        size_line = Some(t.to_string());
+        size_line = Some(
+            std::str::from_utf8(t)
+                .map_err(|_| SparseError::Parse("size line is not valid UTF-8".into()))?
+                .to_string(),
+        );
         break;
     }
     let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
@@ -52,39 +116,37 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
     }
     let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let mut coo = CooMatrix::with_capacity(n_rows, n_cols, if symmetric { 2 * nnz } else { nnz });
-    let mut read = 0usize;
-    for line in lines {
-        let line = line.map_err(|e| SparseError::Parse(e.to_string()))?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
+    // Chunk the entry region on line boundaries and parse concurrently.
+    let ranges = chunk_ranges(&bytes, pos, ctx.n_threads.max(1));
+    let cap_hint = if ranges.is_empty() {
+        0
+    } else {
+        (if symmetric { 2 * nnz } else { nnz }).div_ceil(ranges.len())
+    };
+    let mut chunks = ctx.map_indexed(ranges.len(), |i| {
+        let (s, e) = ranges[i];
+        parse_entry_chunk(&bytes[s..e], symmetric, n_rows, n_cols, cap_hint)
+    });
+
+    // Stable merge: first error in file order wins, triplets concatenate
+    // in chunk (= file) order, exactly as the sequential parse would see
+    // them.
+    for ch in chunks.iter_mut() {
+        if let Some(err) = ch.err.take() {
+            return Err(err);
         }
-        let mut it = t.split_whitespace();
-        let r: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?;
-        let c: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?;
-        let v: f64 = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse(format!("bad entry line: {t}")))?;
-        if r == 0 || c == 0 {
-            return Err(SparseError::Parse("MatrixMarket indices are 1-based".into()));
-        }
-        if symmetric {
-            coo.push_sym(r - 1, c - 1, v)?;
-        } else {
-            coo.push(r - 1, c - 1, v)?;
-        }
-        read += 1;
     }
+    let read: usize = chunks.iter().map(|c| c.read).sum();
     if read != nnz {
         return Err(SparseError::Parse(format!("expected {nnz} entries, found {read}")));
+    }
+    let stored: usize = chunks.iter().map(|c| c.rows.len()).sum();
+    let mut coo = CooMatrix::with_capacity(n_rows, n_cols, stored);
+    for ch in &chunks {
+        for k in 0..ch.rows.len() {
+            // Bounds were validated during the chunk parse.
+            coo.push(ch.rows[k], ch.cols[k], ch.vals[k])?;
+        }
     }
     Ok(coo.to_csr())
 }
@@ -102,9 +164,147 @@ pub fn write_matrix_market<W: Write>(a: &CsrMatrix, mut writer: W) -> std::io::R
     Ok(())
 }
 
+/// Returns the next line (without its `\n`) and advances `pos` past it.
+fn next_line<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    if *pos >= bytes.len() {
+        return None;
+    }
+    let start = *pos;
+    match bytes[start..].iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            *pos = start + i + 1;
+            Some(&bytes[start..start + i])
+        }
+        None => {
+            *pos = bytes.len();
+            Some(&bytes[start..])
+        }
+    }
+}
+
+fn trim_ascii(mut s: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = s {
+        if first.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = s {
+        if last.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Splits `bytes[start..]` into at most `n_chunks` ranges that all end on
+/// a line boundary (or the end of the buffer).
+fn chunk_ranges(bytes: &[u8], start: usize, n_chunks: usize) -> Vec<(usize, usize)> {
+    let len = bytes.len();
+    let mut ranges = Vec::new();
+    if start >= len {
+        return ranges;
+    }
+    let target = (len - start).div_ceil(n_chunks.max(1));
+    let mut s = start;
+    while s < len {
+        let mut e = (s + target).min(len);
+        while e < len && bytes[e - 1] != b'\n' {
+            e += 1;
+        }
+        ranges.push((s, e));
+        s = e;
+    }
+    ranges
+}
+
+/// Triplets parsed from one chunk, in file order (symmetric mirrors are
+/// interleaved right after their source entry, matching the sequential
+/// `push_sym` order).
+struct ParsedChunk {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    /// Entry lines consumed (mirrors not counted), for the nnz check.
+    read: usize,
+    /// First parse error in this chunk, if any.
+    err: Option<SparseError>,
+}
+
+fn parse_entry_chunk(
+    bytes: &[u8],
+    symmetric: bool,
+    n_rows: usize,
+    n_cols: usize,
+    cap_hint: usize,
+) -> ParsedChunk {
+    let mut out = ParsedChunk {
+        rows: Vec::with_capacity(cap_hint),
+        cols: Vec::with_capacity(cap_hint),
+        vals: Vec::with_capacity(cap_hint),
+        read: 0,
+        err: None,
+    };
+    let mut pos = 0usize;
+    while let Some(line) = next_line(bytes, &mut pos) {
+        let t = trim_ascii(line);
+        if t.is_empty() || t[0] == b'%' {
+            continue;
+        }
+        let (r, c, v) = match parse_entry(t) {
+            Ok(e) => e,
+            Err(err) => {
+                out.err = Some(err);
+                return out;
+            }
+        };
+        if r == 0 || c == 0 {
+            out.err = Some(SparseError::Parse("MatrixMarket indices are 1-based".into()));
+            return out;
+        }
+        let (r, c) = (r - 1, c - 1);
+        if r >= n_rows || c >= n_cols {
+            out.err =
+                Some(SparseError::IndexOutOfBounds { row: r, col: c, n_rows, n_cols });
+            return out;
+        }
+        out.rows.push(r);
+        out.cols.push(c);
+        out.vals.push(v);
+        if symmetric && r != c {
+            if c >= n_rows || r >= n_cols {
+                out.err =
+                    Some(SparseError::IndexOutOfBounds { row: c, col: r, n_rows, n_cols });
+                return out;
+            }
+            out.rows.push(c);
+            out.cols.push(r);
+            out.vals.push(v);
+        }
+        out.read += 1;
+    }
+    out
+}
+
+fn parse_entry(t: &[u8]) -> Result<(usize, usize, f64)> {
+    let bad = || SparseError::Parse(format!("bad entry line: {}", String::from_utf8_lossy(t)));
+    let mut it = t
+        .split(|b| b.is_ascii_whitespace())
+        .filter(|tok| !tok.is_empty())
+        .map(|tok| std::str::from_utf8(tok).ok());
+    let r: usize = it.next().flatten().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let c: usize = it.next().flatten().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let v: f64 = it.next().flatten().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    Ok((r, c, v))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gen::laplacian_2d_5pt;
 
     #[test]
     fn roundtrip_general() {
@@ -134,12 +334,51 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_roundtrips_against_full_matrix() {
+        // Write only the lower triangle of a symmetric Laplacian by hand;
+        // the reader must expand it to exactly the assembled full matrix.
+        let a = laplacian_2d_5pt(7);
+        let mut text = String::from("%%MatrixMarket matrix coordinate real symmetric\n");
+        let mut count = 0usize;
+        let mut body = String::new();
+        for r in 0..a.n_rows() {
+            for (c, v) in a.row_iter(r) {
+                if c <= r {
+                    body.push_str(&format!("{} {} {:.17e}\n", r + 1, c + 1, v));
+                    count += 1;
+                }
+            }
+        }
+        text.push_str(&format!("{} {} {}\n", a.n_rows(), a.n_cols(), count));
+        text.push_str(&body);
+        let b = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn rejects_bad_header() {
         assert!(read_matrix_market("not a matrix\n".as_bytes()).is_err());
         assert!(read_matrix_market(
             "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
         )
         .is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix coordinate\n".as_bytes()).is_err());
+        assert!(read_matrix_market("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_pattern_and_complex_naming_the_qualifier() {
+        let pat = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n";
+        let err = read_matrix_market(pat.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("`pattern`"), "error must name the qualifier: {err}");
+
+        let cx = "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1.0 0.0\n";
+        let err = read_matrix_market(cx.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("`complex`"), "error must name the qualifier: {err}");
+
+        let skew = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1.0\n";
+        let err = read_matrix_market(skew.as_bytes()).unwrap_err().to_string();
+        assert!(err.contains("`skew-symmetric`"), "error must name the qualifier: {err}");
     }
 
     #[test]
@@ -155,6 +394,12 @@ mod tests {
     }
 
     #[test]
+    fn rejects_out_of_bounds_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
     fn skips_comments_and_blank_lines() {
         let text = "%%MatrixMarket matrix coordinate real general\n\
                     % a\n\n% b\n\
@@ -162,5 +407,52 @@ mod tests {
                     1 1 3.5\n";
         let a = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(a.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn chunk_parallel_parse_is_bit_identical_to_sequential() {
+        // Big enough that every thread count actually splits into
+        // multiple chunks; duplicates exercise the stable-merge ordering.
+        let a = laplacian_2d_5pt(24);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        buf.extend_from_slice(b"% trailing comment\n");
+        let seq = read_matrix_market_with(&buf[..], ParContext::new(1)).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let par = read_matrix_market_with(&buf[..], ParContext::new(threads)).unwrap();
+            assert_eq!(seq, par, "threads {threads}");
+        }
+        assert_eq!(seq, a);
+    }
+
+    #[test]
+    fn error_in_late_chunk_still_reported() {
+        let a = laplacian_2d_5pt(16);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        buf.extend_from_slice(b"1 1 not-a-number\n");
+        for threads in [1usize, 4] {
+            let err = read_matrix_market_with(&buf[..], ParContext::new(threads))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("bad entry line"), "threads {threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn path_reader_roundtrips() {
+        let a = laplacian_2d_5pt(5);
+        let path = std::env::temp_dir().join(format!(
+            "abr_io_test_{}_{:?}.mtx",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let b = read_matrix_market_path(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(a, b);
+        assert!(read_matrix_market_path("/nonexistent/abr.mtx").is_err());
     }
 }

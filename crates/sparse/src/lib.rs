@@ -50,6 +50,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use ell::EllMatrix;
 pub use iteration_matrix::IterationMatrix;
+pub use par::ParContext;
 pub use partition::RowPartition;
 pub use stencil::{GridShape, StencilBlock, StencilDescriptor, StencilTap};
 

@@ -88,6 +88,44 @@ impl ParContext {
     pub fn norm2(&self, x: &[f64]) -> f64 {
         self.dot(x, x).sqrt()
     }
+
+    /// Applies `f` to every index in `0..len` across `n_threads` scoped
+    /// threads and returns the results **in index order**.
+    ///
+    /// Each index is computed exactly once and lands in its own slot, so
+    /// the output is identical for every thread count — this is the
+    /// primitive behind the deterministic parallel plan compile and the
+    /// chunk-parallel MatrixMarket parse. `f` must be pure with respect to
+    /// the order of invocation (indices within a chunk run in order, but
+    /// chunks run concurrently).
+    pub fn map_indexed<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let threads = self.n_threads.min(len);
+        if threads <= 1 {
+            return (0..len).map(f).collect();
+        }
+        let mut out: Vec<Option<T>> = Vec::new();
+        out.resize_with(len, || None);
+        let chunk = len.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (t, slots) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(start + i));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|s| s.expect("every index filled")).collect()
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +183,15 @@ mod tests {
     fn zero_threads_clamped() {
         let ctx = ParContext::new(0);
         assert_eq!(ctx.n_threads, 1);
+    }
+
+    #[test]
+    fn map_indexed_preserves_index_order() {
+        for threads in [1usize, 2, 3, 7, 16] {
+            let got = ParContext::new(threads).map_indexed(37, |i| i * i);
+            let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads {threads}");
+        }
+        assert!(ParContext::new(4).map_indexed(0, |i| i).is_empty());
     }
 }

@@ -166,3 +166,53 @@ fn matrix_market_roundtrip_preserves_solvability() {
     let r = jacobi(&a2, &b, &x0, &SolveOptions::to_tolerance(1e-9, 10_000)).expect("solve");
     assert!(r.converged);
 }
+
+/// The scaling pipeline end to end at reduced n: generate the screened
+/// FV system, stream it out to MatrixMarket, ingest it back through the
+/// chunk-parallel reader, compile the plan in parallel, and solve on the
+/// persistent executor with fused residual monitoring — every stage of
+/// the multi-million-row path, verified against an independent residual.
+#[test]
+fn ingest_to_solve_pipeline_on_generated_matrix_market() {
+    use block_async_relax::core::async_block::AsyncJacobiKernel;
+    use block_async_relax::core::convergence::relative_residual;
+    use block_async_relax::core::{LocalSweep, ResidualMonitor};
+    use block_async_relax::gpu::kernel::AllowAll;
+    use block_async_relax::gpu::schedule::RoundRobin;
+    use block_async_relax::gpu::{PersistentExecutor, PersistentOptions, PersistentWorkspace};
+    use block_async_relax::sparse::gen::fv;
+    use block_async_relax::sparse::io::{read_matrix_market_path, write_matrix_market};
+
+    let a = fv(24, 1.0, 0.0).expect("fv generator"); // n = 576
+    let path = std::env::temp_dir().join(format!(
+        "abr-ingest-e2e-{}-{:?}.mtx",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    {
+        let f = std::fs::File::create(&path).expect("create temp mtx");
+        write_matrix_market(&a, std::io::BufWriter::new(f)).expect("write");
+    }
+    let a2 = read_matrix_market_path(&path).expect("streaming ingest");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(a, a2, "ingest must reproduce the generated system exactly");
+
+    let n = a2.n_rows();
+    let rhs = a2.mul_vec(&vec![1.0; n]).expect("square");
+    let p = RowPartition::uniform(n, 48).expect("partition");
+    let kernel = AsyncJacobiKernel::with_sweep(&a2, &rhs, &p, 5, 1.0, LocalSweep::Jacobi)
+        .expect("kernel");
+    let exec = PersistentExecutor::new(PersistentOptions {
+        n_workers: 4,
+        ..PersistentOptions::default()
+    });
+    let tol = 1e-8;
+    let mut monitor = ResidualMonitor::new(&a2, &rhs, tol, 1);
+    let mut ws = PersistentWorkspace::new();
+    let mut x = vec![0.0; n];
+    let (_, report) =
+        exec.run(&kernel, &mut x, 20_000, &mut RoundRobin, &AllowAll, &mut monitor, &mut ws);
+    assert!(report.stopped_at.is_some(), "persistent solve must converge");
+    let rr = relative_residual(&a2, &rhs, &x);
+    assert!(rr <= tol, "pipeline stopped with residual {rr} above {tol}");
+}

@@ -169,3 +169,38 @@ fn sync_lint() {
         violations.join("\n")
     );
 }
+
+/// The fused residual-slot path must stay lock-free and keep its
+/// publish/reduce ordering pairing: workers publish on every committed
+/// block update, so a lock (or a stray SeqCst "just in case") on that
+/// path would put the monitor back onto the workers' critical path —
+/// the exact cost the fused estimator exists to remove. Token-level,
+/// like the main lint: `residual.rs` may not name any blocking
+/// primitive, must stamp its epoch with `Release`, and must read it
+/// with `Acquire` (the pairing its module doc promises the model
+/// audit).
+#[test]
+fn residual_slots_stay_lock_free() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(repo.join("crates/gpu/src/residual.rs"))
+        .expect("crates/gpu/src/residual.rs must exist — the fused monitor depends on it");
+    let code: String =
+        text.lines().map(code_of).collect::<Vec<_>>().join("\n");
+    // Assembled at runtime so this file's own source never matches the
+    // main lint's `Ordering::` scan.
+    let ordering: String = ["Ordering", "::"].concat();
+    for banned in
+        ["Mutex", "RwLock", "parking_lot", ".lock()", "Condvar", &[&ordering, "SeqCst"].concat()]
+    {
+        assert!(
+            !code.contains(banned),
+            "residual.rs uses `{banned}` — the slot publish/reduce path must stay lock-free"
+        );
+    }
+    let release = [&ordering, "Release"].concat();
+    let acquire = [&ordering, "Acquire"].concat();
+    assert!(
+        code.contains(&release) && code.contains(&acquire),
+        "residual.rs lost its Release-publish / Acquire-reduce pairing"
+    );
+}
