@@ -36,6 +36,9 @@ use crate::timing::CommStrategy;
 use crate::xview::{AtomicF64Vec, HaloView};
 use abr_sync::{Ordering, SyncUsize};
 
+#[cfg(any(feature = "model", feature = "sanitize"))]
+use abr_sync::hb;
+
 /// The staged-halo state for one multi-device run: one full-length stage
 /// per device (plus a host stage for AMC), refreshed on the strategy's
 /// epoch cadence.
@@ -87,16 +90,27 @@ impl HaloExchange {
         assert_eq!(*device_rows.last().unwrap(), x0.len(), "device offsets must cover x");
         assert!(device_rows.windows(2).all(|w| w[0] < w[1]), "empty device slice");
         let g = device_rows.len() - 1;
+        // Stage writes are declared racy for the happens-before
+        // sanitizer: winners of successive epochs may copy concurrently,
+        // and readers may see mixed epochs — the racy DMA view the
+        // module docs promise. The elect → copy → stamp discipline is
+        // checked separately (`hb::on_stamp`).
+        let mut stages: Vec<AtomicF64Vec> = (0..g).map(|_| AtomicF64Vec::from_slice(x0)).collect();
+        for s in &mut stages {
+            s.mark_racy_writes();
+        }
+        let mut host_stage = if strategy == CommStrategy::Amc {
+            AtomicF64Vec::from_slice(x0)
+        } else {
+            AtomicF64Vec::new()
+        };
+        host_stage.mark_racy_writes();
         Some(HaloExchange {
             strategy,
             device_rows: device_rows.to_vec(),
             epoch_rounds: epoch_rounds.max(1),
-            stages: (0..g).map(|_| AtomicF64Vec::from_slice(x0)).collect(),
-            host_stage: if strategy == CommStrategy::Amc {
-                AtomicF64Vec::from_slice(x0)
-            } else {
-                AtomicF64Vec::new()
-            },
+            stages,
+            host_stage,
             device_epoch: (0..g).map(|_| SyncUsize::new(0)).collect(),
             host_epoch: SyncUsize::new(0),
             stage_stamp: (0..g).map(|_| SyncUsize::new(0)).collect(),
@@ -172,6 +186,10 @@ impl HaloExchange {
         if prev >= target {
             return; // up to date, or another worker won the election
         }
+        // hb shadow: this worker won the election; the stamp below must
+        // be preceded by a completed stage copy in its program order.
+        #[cfg(any(feature = "model", feature = "sanitize"))]
+        hb::on_elect(hb::id_of(&self.stages[d]));
         match self.strategy {
             CommStrategy::Amc => {
                 // Pull: the device picks up whatever the *previous*
@@ -186,16 +204,24 @@ impl HaloExchange {
                 // sync: stamp store needs no ordering; readers treat it
                 // as an independent monotone estimate.
                 self.stage_stamp[d].store(pulled, Ordering::Relaxed);
+                #[cfg(any(feature = "model", feature = "sanitize"))]
+                hb::on_stamp(hb::id_of(&self.stages[d]));
                 // Push: elect one device per epoch to refresh the host
                 // stage from the live iterate for the *next* pull —
                 // fetch_max election, same reasoning as the device epoch.
                 // sync: Relaxed — RMW atomicity alone decides the winner.
                 if self.host_epoch.fetch_max(target, Ordering::Relaxed) < target {
+                    #[cfg(any(feature = "model", feature = "sanitize"))]
+                    hb::on_elect(hb::id_of(&self.host_stage));
                     for i in 0..live.len() {
                         self.host_stage.set(i, live.get(i));
                     }
+                    #[cfg(any(feature = "model", feature = "sanitize"))]
+                    hb::on_copy(hb::id_of(&self.host_stage));
                     // sync: freshness estimate only (see pull side).
                     self.host_stamp.store(watermark, Ordering::Relaxed);
+                    #[cfg(any(feature = "model", feature = "sanitize"))]
+                    hb::on_stamp(hb::id_of(&self.host_stage));
                     // sync: statistics counter, read after the run.
                     self.refreshes.fetch_add(1, Ordering::Relaxed);
                 }
@@ -205,6 +231,8 @@ impl HaloExchange {
                 self.copy_remote_rows(live, d);
                 // sync: freshness estimate only (see AMC pull side).
                 self.stage_stamp[d].store(watermark, Ordering::Relaxed);
+                #[cfg(any(feature = "model", feature = "sanitize"))]
+                hb::on_stamp(hb::id_of(&self.stages[d]));
             }
             CommStrategy::Dk => unreachable!("DK has no halo stage"),
         }
@@ -224,6 +252,10 @@ impl HaloExchange {
         for i in own_end..src.len() {
             stage.set(i, src.get(i));
         }
+        // hb shadow: the copy half of the elect → copy → stamp region
+        // discipline checked by `hb::on_stamp`.
+        #[cfg(any(feature = "model", feature = "sanitize"))]
+        hb::on_copy(hb::id_of(stage));
     }
 }
 

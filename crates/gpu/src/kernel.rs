@@ -49,6 +49,17 @@ impl BlockScratch {
         self.next.resize(nb + 1, 0.0);
         self.frozen.resize(nb, 0.0);
     }
+
+    /// Records an exclusive claim of this scratch in the happens-before
+    /// shadow (sanitizer builds only). `&mut` rules out concurrent
+    /// sharing in safe code, but executors hand scratches around by
+    /// index — a claim by a worker that does not happen-after the
+    /// previous worker's claim is reported as a conflicting write.
+    #[cfg(any(feature = "model", feature = "sanitize"))]
+    #[inline]
+    pub fn hb_claim(&self) {
+        abr_sync::hb::on_data_write(abr_sync::hb::id_of(self), abr_sync::hb::Access::WriteExcl);
+    }
 }
 
 /// One block-update computation.

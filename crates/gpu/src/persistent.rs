@@ -1145,6 +1145,20 @@ impl PersistentExecutor {
                         }
                         if filter.block_enabled(block, round) {
                             acquire_block_flag(&in_flight[block]);
+                            // hb shadow: with the in-flight flag held,
+                            // this worker claims the block region and its
+                            // scratch exclusively — both claims must
+                            // happen-after the previous holder's (the
+                            // flag's Release/Acquire hand-off provides
+                            // the edge; a downgrade would be reported).
+                            #[cfg(any(feature = "model", feature = "sanitize"))]
+                            {
+                                abr_sync::hb::on_data_write(
+                                    abr_sync::hb::id_of(&in_flight[block]),
+                                    abr_sync::hb::Access::WriteExcl,
+                                );
+                                scratch.hb_claim();
+                            }
                             // Realised shift of every neighbour read
                             // (Eq. 3 measured, mirroring the DES): own
                             // committed rounds minus what the read

@@ -31,6 +31,9 @@
 
 use abr_sync::{Ordering, SyncU64, SyncUsize};
 
+#[cfg(any(feature = "model", feature = "sanitize"))]
+use abr_sync::hb;
+
 /// One epoch-stamped `f64` slot per block, written by workers on every
 /// committed update and reduced by the monitor.
 #[derive(Debug, Default)]
@@ -65,6 +68,14 @@ impl ResidualSlots {
             self.epoch.clear();
             self.val_bits.extend((0..n_blocks).map(|_| SyncU64::new(0)));
             self.epoch.extend((0..n_blocks).map(|_| SyncUsize::new(0)));
+            // hb shadow: freshly allocated cells may reuse addresses of
+            // cells dropped earlier in the same sanitizer session; clear
+            // any stale shadow evidence keyed there.
+            #[cfg(any(feature = "model", feature = "sanitize"))]
+            for (v, e) in self.val_bits.iter().zip(&self.epoch) {
+                hb::on_reset(hb::id_of(v));
+                hb::on_reset(hb::id_of(e));
+            }
         }
     }
 
@@ -84,6 +95,11 @@ impl ResidualSlots {
     /// flag guarantees one publisher at a time per slot).
     #[inline]
     pub fn publish(&self, b: usize, sub_norm_sq: f64) {
+        // hb shadow: the value store must be exclusive (one publisher
+        // per slot under the block's in-flight flag) and is what the
+        // Release bump below publishes.
+        #[cfg(any(feature = "model", feature = "sanitize"))]
+        hb::on_data_write(hb::id_of(&self.val_bits[b]), hb::Access::WriteExcl);
         // sync: Relaxed value store; the Release epoch bump below is the
         // publication edge that makes it visible to an Acquire reader
         self.val_bits[b].store(sub_norm_sq.to_bits(), Ordering::Relaxed);
@@ -116,6 +132,10 @@ impl ResidualSlots {
             if e.load(Ordering::Acquire) == 0 {
                 return None;
             }
+            // hb shadow: a warm epoch claims the value is published —
+            // this read must be covered by some recorded publish.
+            #[cfg(any(feature = "model", feature = "sanitize"))]
+            hb::on_data_read(hb::id_of(v), hb::Access::ReadPublished);
             // sync: Relaxed value read; visibility is given by the
             // Acquire epoch load above, and any torn-in newer value is an
             // equally valid recent estimate

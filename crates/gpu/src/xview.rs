@@ -7,6 +7,9 @@
 
 use abr_sync::{Ordering, SyncU64};
 
+#[cfg(any(feature = "model", feature = "sanitize"))]
+use abr_sync::hb;
+
 /// A shared vector of `f64` values stored as atomic bit patterns, so
 /// multiple threads may read and write components without locks. All
 /// accesses use `Relaxed` ordering: the asynchronous iteration tolerates
@@ -16,19 +19,66 @@ use abr_sync::{Ordering, SyncU64};
 #[derive(Debug)]
 pub struct AtomicF64Vec {
     data: Vec<SyncU64>,
+    /// Sanitizer classification of writes: the live iterate's component
+    /// stores are exclusive per block (the in-flight flag orders
+    /// hand-offs), while halo stages are declared racy (successive epoch
+    /// winners may copy concurrently by design).
+    #[cfg(any(feature = "model", feature = "sanitize"))]
+    racy_writes: bool,
 }
+
+/// Above this length, only every [`HB_SAMPLE_STRIDE`]-th component is
+/// shadow-tracked (sampled instrumentation; million-row iterates would
+/// otherwise swamp the detector). Small vectors are tracked fully so the
+/// protocol tests see every component.
+#[cfg(any(feature = "model", feature = "sanitize"))]
+const HB_SAMPLE_FULL_BELOW: usize = 1024;
+#[cfg(any(feature = "model", feature = "sanitize"))]
+const HB_SAMPLE_STRIDE: usize = 64;
 
 impl AtomicF64Vec {
     /// Creates from initial values.
     pub fn from_slice(values: &[f64]) -> Self {
-        AtomicF64Vec {
+        let v = AtomicF64Vec {
             data: values.iter().map(|&v| SyncU64::new(v.to_bits())).collect(),
+            #[cfg(any(feature = "model", feature = "sanitize"))]
+            racy_writes: false,
+        };
+        // hb shadow: a fresh allocation may reuse addresses of cells
+        // dropped earlier in the same sanitizer session.
+        #[cfg(any(feature = "model", feature = "sanitize"))]
+        for c in &v.data {
+            hb::on_reset(hb::id_of(c));
         }
+        v
     }
 
     /// An empty vector; fill it with [`reset_from`](Self::reset_from).
     pub fn new() -> Self {
-        AtomicF64Vec { data: Vec::new() }
+        AtomicF64Vec {
+            data: Vec::new(),
+            #[cfg(any(feature = "model", feature = "sanitize"))]
+            racy_writes: false,
+        }
+    }
+
+    /// Declares every write to this vector racy-by-design for the
+    /// happens-before sanitizer (halo stages: concurrent copies for
+    /// successive epochs are the documented DMA-like behaviour). Without
+    /// this, sampled writes are checked as per-block-exclusive. No-op in
+    /// builds without the `model`/`sanitize` features.
+    pub fn mark_racy_writes(&mut self) {
+        #[cfg(any(feature = "model", feature = "sanitize"))]
+        {
+            self.racy_writes = true;
+        }
+    }
+
+    /// Whether component `i` is shadow-tracked (see sampling constants).
+    #[cfg(any(feature = "model", feature = "sanitize"))]
+    #[inline]
+    fn hb_sampled(&self, i: usize) -> bool {
+        self.data.len() < HB_SAMPLE_FULL_BELOW || i.is_multiple_of(HB_SAMPLE_STRIDE)
     }
 
     /// Reloads the vector with `values`, reusing the existing storage
@@ -53,6 +103,11 @@ impl AtomicF64Vec {
         } else {
             self.data.clear();
             self.data.extend(values.iter().map(|&v| SyncU64::new(v.to_bits())));
+            // hb shadow: same address-reuse hygiene as `from_slice`.
+            #[cfg(any(feature = "model", feature = "sanitize"))]
+            for c in &self.data {
+                hb::on_reset(hb::id_of(c));
+            }
         }
     }
 
@@ -98,6 +153,16 @@ impl AtomicF64Vec {
     /// Writes component `i` (relaxed).
     #[inline]
     pub fn set(&self, i: usize, v: f64) {
+        // hb shadow (sampled): live-iterate stores are exclusive per
+        // block — a second writer must happen-after via the in-flight
+        // hand-off; stage stores are declared racy.
+        #[cfg(any(feature = "model", feature = "sanitize"))]
+        if self.hb_sampled(i) {
+            hb::on_data_write(
+                hb::id_of(&self.data[i]),
+                if self.racy_writes { hb::Access::WriteRacy } else { hb::Access::WriteExcl },
+            );
+        }
         // sync: component publication needs only untorn atomicity; when
         // cross-block visibility order matters (block hand-off) the
         // in-flight flag's Release/Acquire pair provides it.

@@ -1,0 +1,609 @@
+//! The workspace's static memory-model lint, promoted out of
+//! `tests/lint_sync.rs` into a crate so it runs both as a tier-1 test
+//! and as a local tool (`cargo run -p abr-lint`). Four rules:
+//!
+//! 1. **No direct `std` atomics outside the facade.** All shared-memory
+//!    protocols must go through `abr_sync` (`crates/sync`), or the model
+//!    explorer and the happens-before sanitizer cannot see them.
+//! 2. **Every memory-ordering annotation is justified.** Each use of an
+//!    `Ordering::` constant must carry a `sync:` comment nearby saying
+//!    *why* that ordering suffices.
+//! 3. **Every `unsafe` carries a `SAFETY:` comment** in the lines above.
+//! 4. **Declared-ordering conformance.** Every atomic call site in the
+//!    product sources (`src/`, `crates/*/src/`) is tokenized into
+//!    `(file, operation, orderings)` and the aggregate is diffed against
+//!    the machine-readable table in DESIGN.md §7 — the documented
+//!    memory-model contract and the source can no longer drift apart
+//!    silently. Regenerate the table with
+//!    `cargo run -p abr-lint -- --fix-table` after an audited change.
+//!
+//! The scan walks `src/`, `tests/`, `crates/`, and `examples/` (the old
+//! test-embedded lint missed `examples/` entirely). `crates/sync` (the
+//! facade's own implementation), `crates/shims` (vendored stubs), and
+//! `crates/lint` (this crate: its source names the very tokens it scans
+//! for) are exempt from rules 1–3 and outside rule 4's product scope;
+//! tests are also outside rule 4 (they deliberately build broken
+//! protocol shapes with the orderings under audit as parameters).
+//!
+//! The scan is deliberately dumb — raw line tokens, no parsing, no
+//! network, no dependencies — so it runs in the tier-1 suite
+//! unconditionally. Match patterns are assembled at runtime so source
+//! files of the lint itself never match them.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Directories (relative to the workspace root) the lint walks.
+const SCAN_ROOTS: &[&str] = &["src", "tests", "crates", "examples"];
+
+/// The DESIGN.md markers delimiting the machine-readable ordering table.
+pub const TABLE_BEGIN: &str = "<!-- ordering-table:begin -->";
+/// End marker, see [`TABLE_BEGIN`].
+pub const TABLE_END: &str = "<!-- ordering-table:end -->";
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    /// What went wrong and how to fix it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+        } else {
+            write!(f, "{}: {}", self.file, self.msg)
+        }
+    }
+}
+
+/// An aggregated atomic call-site key: workspace-relative file, the
+/// operation (`load`, `store`, `fetch_add`, …, `fence`), and the
+/// `Ordering::` arguments in call order (comma-joined for CAS pairs).
+pub type SiteKey = (String, String, String);
+
+/// Walks up from this crate's manifest dir to the directory whose
+/// `Cargo.toml` declares `[workspace]` — the scan root for the binary.
+pub fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            panic!("no [workspace] Cargo.toml above {}", env!("CARGO_MANIFEST_DIR"));
+        }
+    }
+}
+
+fn rust_files_into(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(root) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            rust_files_into(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every `.rs` file under the scan roots, sorted.
+pub fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        rust_files_into(&root.join(dir), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Whether `rel` is exempt from rules 1–3 (facade internals, vendored
+/// shims, and this lint itself).
+fn exempt(rel: &str) -> bool {
+    rel.starts_with("crates/sync/")
+        || rel.starts_with("crates/shims/")
+        || rel.starts_with("crates/lint/")
+}
+
+/// Whether `rel` is in rule 4's product scope: non-test sources of the
+/// root package and the workspace crates, minus the exempt crates.
+fn conformance_scope(rel: &str) -> bool {
+    if exempt(rel) {
+        return false;
+    }
+    if rel.starts_with("src/") {
+        return true;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((_, tail)) = rest.split_once('/') {
+            return tail.starts_with("src/");
+        }
+    }
+    false
+}
+
+/// The code part of a line: everything before a line comment. Naive
+/// (a `//` inside a string literal truncates early), which can only
+/// under-report, never false-positive.
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Rules 1–3 over every scanned file. Mirrors the original test lint,
+/// with the scan extended to `examples/`.
+pub fn check_style(root: &Path) -> Vec<Violation> {
+    // Assembled so this crate's own source never matches them (and the
+    // lint exempts itself anyway — belt and braces, as before).
+    let raw_atomics: String = ["std::", "sync::", "atomic"].concat();
+    let ordering_use: String = ["Ordering", "::"].concat();
+    // The full comment form: a bare `sync:` would also match the
+    // `sync::` segment of a raw std atomics path.
+    let sync_comment: String = ["//", " sync", ":"].concat();
+    let unsafe_token: String = ["un", "safe"].concat();
+    let safety_comment: String = ["SAFETY", ":"].concat();
+
+    let is_word_boundary =
+        |b: Option<u8>| b.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == b'_'));
+
+    let mut violations = Vec::new();
+    for path in rust_files(root) {
+        let rel = rel_of(root, &path);
+        if exempt(&rel) {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&path) else { continue };
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            let code = code_of(line);
+
+            if code.contains(raw_atomics.as_str()) {
+                violations.push(Violation {
+                    file: rel.clone(),
+                    line: i + 1,
+                    msg: format!(
+                        "direct {raw_atomics} use — go through the abr_sync facade \
+                         so the model explorer and hb sanitizer can see the operation"
+                    ),
+                });
+            }
+
+            if code.contains(ordering_use.as_str()) {
+                // Justified when a `sync:` comment sits on the same line,
+                // on the line or two below (trailing `^` notes), or in the
+                // comment block above the *statement* — found by walking
+                // upward through continuation lines (code not ending a
+                // statement: multi-line CAS argument lists and the like)
+                // and contiguous comment lines, stopping at a blank line
+                // or a completed statement.
+                let hi = (i + 2).min(lines.len() - 1);
+                let mut justified =
+                    lines[i..=hi].iter().any(|l| l.contains(sync_comment.as_str()));
+                let mut j = i;
+                let mut walked = 0;
+                while !justified && j > 0 && walked < 16 {
+                    j -= 1;
+                    walked += 1;
+                    let raw = lines[j];
+                    if raw.contains(sync_comment.as_str()) {
+                        justified = true;
+                        break;
+                    }
+                    let c = code_of(raw).trim_end();
+                    if c.trim().is_empty() {
+                        if !raw.trim_start().starts_with("//") {
+                            break; // blank line: left the statement region
+                        }
+                        continue; // pure comment line: keep walking
+                    }
+                    match c.as_bytes().last() {
+                        // A finished statement or block above: stop.
+                        Some(b';') | Some(b'{') | Some(b'}') => break,
+                        // Continuation (`,`, `(`, operators…): keep walking.
+                        _ => {}
+                    }
+                }
+                if !justified {
+                    violations.push(Violation {
+                        file: rel.clone(),
+                        line: i + 1,
+                        msg: format!(
+                            "`{ordering_use}` without a `{sync_comment}` justification \
+                             comment nearby"
+                        ),
+                    });
+                }
+            }
+
+            let mut from = 0;
+            while let Some(off) = code[from..].find(unsafe_token.as_str()) {
+                let at = from + off;
+                let before = code.as_bytes()[..at].last().copied();
+                let after = code.as_bytes().get(at + unsafe_token.len()).copied();
+                if is_word_boundary(before) && is_word_boundary(after) {
+                    let lo = i.saturating_sub(4);
+                    let covered =
+                        lines[lo..=i].iter().any(|l| l.contains(safety_comment.as_str()));
+                    if !covered {
+                        violations.push(Violation {
+                            file: rel.clone(),
+                            line: i + 1,
+                            msg: format!("`{unsafe_token}` without a `{safety_comment}` comment"),
+                        });
+                    }
+                    break;
+                }
+                from = at + unsafe_token.len();
+            }
+        }
+    }
+    violations
+}
+
+/// The fused residual-slot path must stay lock-free and keep its
+/// publish/reduce ordering pairing: workers publish on every committed
+/// block update, so a lock (or a stray SeqCst "just in case") on that
+/// path would put the monitor back onto the workers' critical path.
+pub fn check_residual_lock_free(root: &Path) -> Vec<Violation> {
+    let rel = "crates/gpu/src/residual.rs";
+    let Ok(text) = fs::read_to_string(root.join(rel)) else {
+        return vec![Violation {
+            file: rel.into(),
+            line: 0,
+            msg: "missing — the fused monitor depends on it".into(),
+        }];
+    };
+    let code: String = text.lines().map(code_of).collect::<Vec<_>>().join("\n");
+    let ordering: String = ["Ordering", "::"].concat();
+    let mut violations = Vec::new();
+    for banned in
+        ["Mutex", "RwLock", "parking_lot", ".lock()", "Condvar", &[&ordering, "SeqCst"].concat()]
+    {
+        if code.contains(banned) {
+            violations.push(Violation {
+                file: rel.into(),
+                line: 0,
+                msg: format!(
+                    "uses `{banned}` — the slot publish/reduce path must stay lock-free"
+                ),
+            });
+        }
+    }
+    let release = [&ordering, "Release"].concat();
+    let acquire = [&ordering, "Acquire"].concat();
+    if !(code.contains(&release) && code.contains(&acquire)) {
+        violations.push(Violation {
+            file: rel.into(),
+            line: 0,
+            msg: "lost its Release-publish / Acquire-reduce pairing".into(),
+        });
+    }
+    violations
+}
+
+/// The atomic operations rule 4 tokenizes. Longer patterns first so
+/// `compare_exchange_weak` is not claimed by `compare_exchange`.
+fn op_patterns() -> Vec<(String, &'static str)> {
+    let dotted = |m: &str| [".", m, "("].concat();
+    vec![
+        (dotted("compare_exchange_weak"), "compare_exchange_weak"),
+        (dotted("compare_exchange"), "compare_exchange"),
+        (dotted("fetch_add"), "fetch_add"),
+        (dotted("fetch_sub"), "fetch_sub"),
+        (dotted("fetch_max"), "fetch_max"),
+        (dotted("load"), "load"),
+        (dotted("store"), "store"),
+        (["fence", "("].concat(), "fence"),
+    ]
+}
+
+/// Collects the `Ordering::` constants inside the parenthesized argument
+/// list starting at `open` (the index of the `(`); returns `None` when
+/// the parens never close (truncated scan) or no ordering is named.
+fn orderings_in_call(code: &str, open: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &code[open..end?];
+    let pat: String = ["Ordering", "::"].concat();
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(off) = body[from..].find(pat.as_str()) {
+        let start = from + off + pat.len();
+        let ident: String = body[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            found.push(ident);
+        }
+        from = start;
+    }
+    if found.is_empty() {
+        None
+    } else {
+        Some(found.join(","))
+    }
+}
+
+/// Rule 4's scan: every atomic call site in the product sources,
+/// aggregated to `(file, op, orderings) -> count`.
+pub fn scan_ordering_sites(root: &Path) -> BTreeMap<SiteKey, usize> {
+    let mut sites = BTreeMap::new();
+    for path in rust_files(root) {
+        let rel = rel_of(root, &path);
+        if !conformance_scope(&rel) {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&path) else { continue };
+        let code: String = text.lines().map(code_of).collect::<Vec<_>>().join("\n");
+        for (pat, op) in op_patterns() {
+            let mut from = 0;
+            while let Some(off) = code[from..].find(pat.as_str()) {
+                let at = from + off;
+                let open = at + pat.len() - 1;
+                // `.compare_exchange(` must not also count as a prefix
+                // match inside `.compare_exchange_weak(`: the pattern
+                // includes the `(`, so prefixes cannot match.
+                if let Some(ords) = orderings_in_call(&code, open) {
+                    *sites.entry((rel.clone(), op.to_string(), ords)).or_insert(0) += 1;
+                }
+                from = at + pat.len();
+            }
+        }
+    }
+    sites
+}
+
+/// Renders the scan as the DESIGN.md markdown table (markers included).
+pub fn render_table(sites: &BTreeMap<SiteKey, usize>) -> String {
+    let mut out = String::new();
+    out.push_str(TABLE_BEGIN);
+    out.push('\n');
+    out.push_str("| file | op | orderings | count |\n");
+    out.push_str("|------|----|-----------|-------|\n");
+    for ((file, op, ords), count) in sites {
+        let _ = writeln!(out, "| {file} | {op} | {ords} | {count} |");
+    }
+    out.push_str(TABLE_END);
+    out
+}
+
+/// Parses the declared table out of DESIGN.md's marker block.
+pub fn parse_declared_table(design: &str) -> Result<BTreeMap<SiteKey, usize>, String> {
+    let begin = design
+        .find(TABLE_BEGIN)
+        .ok_or_else(|| format!("DESIGN.md has no `{TABLE_BEGIN}` marker"))?;
+    let end = design[begin..]
+        .find(TABLE_END)
+        .map(|i| begin + i)
+        .ok_or_else(|| format!("DESIGN.md has no `{TABLE_END}` marker"))?;
+    let mut declared = BTreeMap::new();
+    for line in design[begin..end].lines() {
+        let line = line.trim();
+        if !line.starts_with('|') || line.contains("---") {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() != 4 || cells[0] == "file" {
+            continue;
+        }
+        let count: usize = cells[3]
+            .parse()
+            .map_err(|_| format!("bad count in ordering-table row: {line}"))?;
+        declared.insert((cells[0].into(), cells[1].into(), cells[2].into()), count);
+    }
+    if declared.is_empty() {
+        return Err("DESIGN.md ordering table is empty".into());
+    }
+    Ok(declared)
+}
+
+/// Rule 4: diff the scanned sites against the table declared in
+/// DESIGN.md, both directions.
+pub fn check_conformance(root: &Path) -> Vec<Violation> {
+    let design_path = root.join("DESIGN.md");
+    let design = match fs::read_to_string(&design_path) {
+        Ok(d) => d,
+        Err(e) => {
+            return vec![Violation {
+                file: "DESIGN.md".into(),
+                line: 0,
+                msg: format!("unreadable: {e}"),
+            }]
+        }
+    };
+    let declared = match parse_declared_table(&design) {
+        Ok(d) => d,
+        Err(msg) => return vec![Violation { file: "DESIGN.md".into(), line: 0, msg }],
+    };
+    let actual = scan_ordering_sites(root);
+    let fix = "regenerate with `cargo run -p abr-lint -- --fix-table` once the change is audited";
+    let mut violations = Vec::new();
+    for (key, &n) in &actual {
+        match declared.get(key) {
+            Some(&m) if m == n => {}
+            Some(&m) => violations.push(Violation {
+                file: key.0.clone(),
+                line: 0,
+                msg: format!(
+                    "{} with orderings [{}] appears {n}x but DESIGN.md §7 declares {m}x — {fix}",
+                    key.1, key.2
+                ),
+            }),
+            None => violations.push(Violation {
+                file: key.0.clone(),
+                line: 0,
+                msg: format!(
+                    "undeclared atomic site: {} with orderings [{}] ({n}x) is not in the \
+                     DESIGN.md §7 table — {fix}",
+                    key.1, key.2
+                ),
+            }),
+        }
+    }
+    for (key, &m) in &declared {
+        if !actual.contains_key(key) {
+            violations.push(Violation {
+                file: key.0.clone(),
+                line: 0,
+                msg: format!(
+                    "stale declaration: DESIGN.md §7 declares {} with orderings [{}] ({m}x) \
+                     but the source no longer has it — {fix}",
+                    key.1, key.2
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// Rewrites DESIGN.md's table block in place from a fresh scan. Returns
+/// whether the file changed.
+pub fn fix_table(root: &Path) -> Result<bool, String> {
+    let design_path = root.join("DESIGN.md");
+    let design =
+        fs::read_to_string(&design_path).map_err(|e| format!("DESIGN.md unreadable: {e}"))?;
+    let begin = design
+        .find(TABLE_BEGIN)
+        .ok_or_else(|| format!("DESIGN.md has no `{TABLE_BEGIN}` marker"))?;
+    let end = design[begin..]
+        .find(TABLE_END)
+        .map(|i| begin + i + TABLE_END.len())
+        .ok_or_else(|| format!("DESIGN.md has no `{TABLE_END}` marker"))?;
+    let table = render_table(&scan_ordering_sites(root));
+    let updated = [&design[..begin], table.as_str(), &design[end..]].concat();
+    if updated == design {
+        return Ok(false);
+    }
+    fs::write(&design_path, updated).map_err(|e| format!("DESIGN.md unwritable: {e}"))?;
+    Ok(true)
+}
+
+/// Runs every rule; `Err` carries the full human-readable report.
+pub fn run_all(root: &Path) -> Result<(), String> {
+    let files = rust_files(root);
+    if files.len() <= 20 {
+        return Err(format!(
+            "lint walked only {} files — the scan roots moved?",
+            files.len()
+        ));
+    }
+    let mut violations = check_style(root);
+    violations.extend(check_residual_lock_free(root));
+    violations.extend(check_conformance(root));
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        let mut report =
+            format!("sync lint found {} violation(s):\n", violations.len());
+        for v in &violations {
+            let _ = writeln!(report, "{v}");
+        }
+        Err(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_extracts_cas_ordering_pairs_across_lines() {
+        let code = "x.compare_exchange_weak(\n    a,\n    b,\n    Ordering::Acquire,\n    \
+                    Ordering::Relaxed,\n)";
+        let pat: String = [".", "compare_exchange_weak", "("].concat();
+        let open = code.find(pat.as_str()).unwrap() + pat.len() - 1;
+        assert_eq!(orderings_in_call(code, open).as_deref(), Some("Acquire,Relaxed"));
+    }
+
+    #[test]
+    fn tokenizer_ignores_calls_without_orderings() {
+        let code = "v.load(idx)";
+        let open = code.find('(').unwrap();
+        assert_eq!(orderings_in_call(code, open), None);
+    }
+
+    #[test]
+    fn table_round_trips_through_render_and_parse() {
+        let mut sites = BTreeMap::new();
+        sites.insert(("crates/gpu/src/a.rs".into(), "load".into(), "Acquire".into()), 3);
+        sites.insert(
+            ("crates/gpu/src/b.rs".into(), "compare_exchange".into(), "AcqRel,Acquire".into()),
+            1,
+        );
+        let table = render_table(&sites);
+        let parsed = parse_declared_table(&table).unwrap();
+        assert_eq!(parsed, sites);
+    }
+
+    #[test]
+    fn scope_covers_product_sources_only() {
+        assert!(conformance_scope("src/lib.rs"));
+        assert!(conformance_scope("crates/gpu/src/persistent.rs"));
+        assert!(!conformance_scope("crates/gpu/tests/foo.rs"));
+        assert!(!conformance_scope("tests/model_hb.rs"));
+        assert!(!conformance_scope("crates/sync/src/real.rs"));
+        assert!(!conformance_scope("crates/shims/rand/src/lib.rs"));
+        assert!(!conformance_scope("crates/lint/src/lib.rs"));
+        assert!(!conformance_scope("examples/quickstart/main.rs"));
+    }
+
+    #[test]
+    fn workspace_scan_finds_the_known_protocol_sites() {
+        let root = workspace_root();
+        let sites = scan_ordering_sites(&root);
+        // The stop flag's Release store and the residual slots' Release
+        // publish are anchor sites this scan must never lose sight of.
+        assert!(
+            sites
+                .iter()
+                .any(|((f, op, ords), _)| f == "crates/gpu/src/residual.rs"
+                    && op == "fetch_add"
+                    && ords == "Release"),
+            "residual.rs Release publish not found: {sites:?}"
+        );
+        assert!(
+            sites.keys().any(|(f, _, _)| f == "crates/gpu/src/persistent.rs"),
+            "persistent.rs has no scanned sites"
+        );
+    }
+}

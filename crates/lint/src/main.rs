@@ -1,0 +1,48 @@
+//! `cargo run -p abr-lint` — the workspace memory-model lint as a local
+//! tool. Modes:
+//!
+//! * no args: run every rule (style, residual lock-freedom, ordering
+//!   conformance) and exit non-zero on any violation;
+//! * `--emit-table`: print the ordering table a fresh scan produces;
+//! * `--fix-table`: rewrite DESIGN.md's table block in place.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = abr_lint::workspace_root();
+    let mode = std::env::args().nth(1);
+    match mode.as_deref() {
+        Some("--emit-table") => {
+            println!("{}", abr_lint::render_table(&abr_lint::scan_ordering_sites(&root)));
+            ExitCode::SUCCESS
+        }
+        Some("--fix-table") => match abr_lint::fix_table(&root) {
+            Ok(true) => {
+                println!("DESIGN.md ordering table regenerated");
+                ExitCode::SUCCESS
+            }
+            Ok(false) => {
+                println!("DESIGN.md ordering table already current");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown flag {other}; use --emit-table or --fix-table");
+            ExitCode::FAILURE
+        }
+        None => match abr_lint::run_all(&root) {
+            Ok(()) => {
+                println!("sync lint clean ({} scan roots)", 4);
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

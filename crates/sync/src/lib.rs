@@ -23,6 +23,13 @@
 //!   tolerates stale reads (the bounded shift function of Eq. 3); the
 //!   model runtime is what lets tests distinguish "`Relaxed` because the
 //!   algorithm tolerates staleness" from "`Relaxed` by accident".
+//! * Under the **`sanitize` cargo feature** the passthrough stays in
+//!   place, but every operation additionally drives the [`hb`]
+//!   happens-before shadow state (per-thread vector clocks, per-cell
+//!   release clocks) — the runtime half of the data-plane race
+//!   sanitizer. The `model` build drives the same shadow from the
+//!   explorer's virtual threads with *exact* synchronizes-with
+//!   information. See [`hb`] for the full story.
 //!
 //! ## The weak-memory model (model builds)
 //!
@@ -56,6 +63,9 @@
 //! model`), the facade behaves exactly like the passthrough build.
 
 pub use std::sync::atomic::Ordering;
+
+#[cfg(any(feature = "model", feature = "sanitize"))]
+pub mod hb;
 
 #[cfg(not(feature = "model"))]
 mod real;

@@ -96,9 +96,20 @@ impl ModelCell {
         f(slot.as_mut().expect("history just seeded"))
     }
 
+    /// The happens-before shadow key of this cell: its address, matching
+    /// what `hb::id_of` computes on the facade wrapper (a single-field
+    /// struct, so the addresses coincide).
+    fn hb_id(&self) -> usize {
+        self as *const ModelCell as usize
+    }
+
     pub(crate) fn load(&self, ord: Ordering, site: &'static Location<'static>) -> u64 {
         let Some((eng, me)) = rt::current_ctx() else {
-            return self.real.load(ord);
+            let v = self.real.load(ord);
+            if is_acquire(ord) {
+                crate::hb::on_acquire(self.hb_id());
+            }
+            return v;
         };
         let id = self.id();
         let mut g = eng.reschedule(me);
@@ -114,6 +125,10 @@ impl ModelCell {
             if is_acquire(ord) {
                 if let Some(v) = entry.view.clone() {
                     merge_view(&mut g.views[me], &v);
+                    // The load really synchronized with a release write:
+                    // mirror the exact edge into the hb shadow. An
+                    // acquire of a relaxed-written entry adds no edge.
+                    crate::hb::on_acquire(self.hb_id());
                 }
             }
             let value = entry.value;
@@ -124,11 +139,17 @@ impl ModelCell {
 
     pub(crate) fn store(&self, bits: u64, ord: Ordering, site: &'static Location<'static>) {
         let Some((eng, me)) = rt::current_ctx() else {
+            if is_release(ord) {
+                crate::hb::on_release(self.hb_id());
+            }
             self.real.store(bits, ord);
             return;
         };
         let id = self.id();
         let mut g = eng.reschedule(me);
+        if is_release(ord) {
+            crate::hb::on_release(self.hb_id());
+        }
         self.with_hist(eng.run_id, |h| {
             let idx = h.entries.len();
             g.views[me].insert(id, idx);
@@ -156,7 +177,16 @@ impl ModelCell {
         f: impl FnOnce(u64) -> Option<u64>,
     ) -> Result<u64, u64> {
         let Some((eng, me)) = rt::current_ctx() else {
-            return real_op(&self.real);
+            if is_release(success) {
+                crate::hb::on_release(self.hb_id());
+            }
+            let r = real_op(&self.real);
+            match &r {
+                Ok(_) if is_acquire(success) => crate::hb::on_acquire(self.hb_id()),
+                Err(_) if is_acquire(failure) => crate::hb::on_acquire(self.hb_id()),
+                _ => {}
+            }
+            return r;
         };
         let id = self.id();
         let mut g = eng.reschedule(me);
@@ -168,12 +198,16 @@ impl ModelCell {
                     if is_acquire(success) {
                         if let Some(v) = h.entries[last].view.clone() {
                             merge_view(&mut g.views[me], &v);
+                            // Exact synchronizes-with edge (the RMW read
+                            // the release entry it displaces).
+                            crate::hb::on_acquire(self.hb_id());
                         }
                     }
                     let idx = h.entries.len();
                     g.views[me].insert(id, idx);
                     let mut carried = h.entries[last].view.clone();
                     if is_release(success) {
+                        crate::hb::on_release(self.hb_id());
                         let mut v = g.views[me].clone();
                         if let Some(prev) = &carried {
                             merge_view(&mut v, prev);
@@ -192,6 +226,7 @@ impl ModelCell {
                     if is_acquire(failure) {
                         if let Some(v) = h.entries[last].view.clone() {
                             merge_view(&mut g.views[me], &v);
+                            crate::hb::on_acquire(self.hb_id());
                         }
                     }
                     g.record(Event { site, thread: me, op: OpKind::CasFail, ordering: failure, cell: id, epoch: last, value: old });
@@ -207,6 +242,7 @@ impl ModelCell {
     /// operation re-seeds a fresh single-entry history from this value;
     /// stale per-thread floors are clamped on read.
     pub(crate) fn set_exclusive(&mut self, bits: u64) {
+        crate::hb::on_reset(self.hb_id());
         *self.real.get_mut() = bits;
         *self.hist.get_mut().unwrap_or_else(|p| p.into_inner()) = None;
     }

@@ -1,9 +1,51 @@
 //! The passthrough facade: every method is an `#[inline]` delegation to
 //! the corresponding `std::sync::atomic` operation, so normal builds pay
 //! nothing for routing their atomics through `abr_sync`.
+//!
+//! Under `--features sanitize` the same passthrough additionally drives
+//! the happens-before shadow state in [`crate::hb`]: release-flavoured
+//! operations run their hook *before* the real op and acquire-flavoured
+//! ones *after*, so a real load that observed a release implies the
+//! release hook already ran — the shadow never claims an edge the
+//! hardware had not yet made observable. When no `hb::session` is
+//! active every hook is a single relaxed flag load.
 
 use crate::Ordering;
 use std::sync::atomic::{self, AtomicBool, AtomicU64, AtomicUsize};
+
+#[cfg(feature = "sanitize")]
+#[inline]
+fn hook_acquire<T>(cell: &T, ord: Ordering) {
+    if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+        crate::hb::on_acquire(crate::hb::id_of(cell));
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[inline(always)]
+fn hook_acquire<T>(_cell: &T, _ord: Ordering) {}
+
+#[cfg(feature = "sanitize")]
+#[inline]
+fn hook_release<T>(cell: &T, ord: Ordering) {
+    if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+        crate::hb::on_release(crate::hb::id_of(cell));
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[inline(always)]
+fn hook_release<T>(_cell: &T, _ord: Ordering) {}
+
+#[cfg(feature = "sanitize")]
+#[inline]
+fn hook_reset<T>(cell: &T) {
+    crate::hb::on_reset(crate::hb::id_of(cell));
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[inline(always)]
+fn hook_reset<T>(_cell: &T) {}
 
 /// An atomic memory fence (passthrough to `std::sync::atomic::fence`).
 #[inline]
@@ -27,12 +69,15 @@ impl SyncBool {
     /// Atomic load.
     #[inline]
     pub fn load(&self, ord: Ordering) -> bool {
-        self.inner.load(ord)
+        let v = self.inner.load(ord);
+        hook_acquire(self, ord);
+        v
     }
 
     /// Atomic store.
     #[inline]
     pub fn store(&self, v: bool, ord: Ordering) {
+        hook_release(self, ord);
         self.inner.store(v, ord)
     }
 
@@ -45,7 +90,13 @@ impl SyncBool {
         success: Ordering,
         failure: Ordering,
     ) -> Result<bool, bool> {
-        self.inner.compare_exchange(current, new, success, failure)
+        hook_release(self, success);
+        let r = self.inner.compare_exchange(current, new, success, failure);
+        match &r {
+            Ok(_) => hook_acquire(self, success),
+            Err(_) => hook_acquire(self, failure),
+        }
+        r
     }
 
     /// Atomic compare-and-exchange, allowed to fail spuriously.
@@ -57,13 +108,20 @@ impl SyncBool {
         success: Ordering,
         failure: Ordering,
     ) -> Result<bool, bool> {
-        self.inner.compare_exchange_weak(current, new, success, failure)
+        hook_release(self, success);
+        let r = self.inner.compare_exchange_weak(current, new, success, failure);
+        match &r {
+            Ok(_) => hook_acquire(self, success),
+            Err(_) => hook_acquire(self, failure),
+        }
+        r
     }
 
     /// Non-atomic store through an exclusive borrow (no atomic traffic;
     /// the borrow checker proves there are no concurrent readers).
     #[inline]
     pub fn set_exclusive(&mut self, v: bool) {
+        hook_reset(&*self);
         *self.inner.get_mut() = v;
     }
 }
@@ -84,25 +142,34 @@ impl SyncU64 {
     /// Atomic load.
     #[inline]
     pub fn load(&self, ord: Ordering) -> u64 {
-        self.inner.load(ord)
+        let v = self.inner.load(ord);
+        hook_acquire(self, ord);
+        v
     }
 
     /// Atomic store.
     #[inline]
     pub fn store(&self, v: u64, ord: Ordering) {
+        hook_release(self, ord);
         self.inner.store(v, ord)
     }
 
     /// Atomic add; returns the previous value.
     #[inline]
     pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
-        self.inner.fetch_add(v, ord)
+        hook_release(self, ord);
+        let prev = self.inner.fetch_add(v, ord);
+        hook_acquire(self, ord);
+        prev
     }
 
     /// Atomic maximum; returns the previous value.
     #[inline]
     pub fn fetch_max(&self, v: u64, ord: Ordering) -> u64 {
-        self.inner.fetch_max(v, ord)
+        hook_release(self, ord);
+        let prev = self.inner.fetch_max(v, ord);
+        hook_acquire(self, ord);
+        prev
     }
 
     /// Atomic compare-and-exchange.
@@ -114,12 +181,19 @@ impl SyncU64 {
         success: Ordering,
         failure: Ordering,
     ) -> Result<u64, u64> {
-        self.inner.compare_exchange(current, new, success, failure)
+        hook_release(self, success);
+        let r = self.inner.compare_exchange(current, new, success, failure);
+        match &r {
+            Ok(_) => hook_acquire(self, success),
+            Err(_) => hook_acquire(self, failure),
+        }
+        r
     }
 
     /// Non-atomic store through an exclusive borrow.
     #[inline]
     pub fn set_exclusive(&mut self, v: u64) {
+        hook_reset(&*self);
         *self.inner.get_mut() = v;
     }
 }
@@ -140,31 +214,43 @@ impl SyncUsize {
     /// Atomic load.
     #[inline]
     pub fn load(&self, ord: Ordering) -> usize {
-        self.inner.load(ord)
+        let v = self.inner.load(ord);
+        hook_acquire(self, ord);
+        v
     }
 
     /// Atomic store.
     #[inline]
     pub fn store(&self, v: usize, ord: Ordering) {
+        hook_release(self, ord);
         self.inner.store(v, ord)
     }
 
     /// Atomic add; returns the previous value.
     #[inline]
     pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
-        self.inner.fetch_add(v, ord)
+        hook_release(self, ord);
+        let prev = self.inner.fetch_add(v, ord);
+        hook_acquire(self, ord);
+        prev
     }
 
     /// Atomic subtract; returns the previous value.
     #[inline]
     pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
-        self.inner.fetch_sub(v, ord)
+        hook_release(self, ord);
+        let prev = self.inner.fetch_sub(v, ord);
+        hook_acquire(self, ord);
+        prev
     }
 
     /// Atomic maximum; returns the previous value.
     #[inline]
     pub fn fetch_max(&self, v: usize, ord: Ordering) -> usize {
-        self.inner.fetch_max(v, ord)
+        hook_release(self, ord);
+        let prev = self.inner.fetch_max(v, ord);
+        hook_acquire(self, ord);
+        prev
     }
 
     /// Atomic compare-and-exchange.
@@ -176,7 +262,13 @@ impl SyncUsize {
         success: Ordering,
         failure: Ordering,
     ) -> Result<usize, usize> {
-        self.inner.compare_exchange(current, new, success, failure)
+        hook_release(self, success);
+        let r = self.inner.compare_exchange(current, new, success, failure);
+        match &r {
+            Ok(_) => hook_acquire(self, success),
+            Err(_) => hook_acquire(self, failure),
+        }
+        r
     }
 
     /// Atomic compare-and-exchange, allowed to fail spuriously.
@@ -188,12 +280,19 @@ impl SyncUsize {
         success: Ordering,
         failure: Ordering,
     ) -> Result<usize, usize> {
-        self.inner.compare_exchange_weak(current, new, success, failure)
+        hook_release(self, success);
+        let r = self.inner.compare_exchange_weak(current, new, success, failure);
+        match &r {
+            Ok(_) => hook_acquire(self, success),
+            Err(_) => hook_acquire(self, failure),
+        }
+        r
     }
 
     /// Non-atomic store through an exclusive borrow.
     #[inline]
     pub fn set_exclusive(&mut self, v: usize) {
+        hook_reset(&*self);
         *self.inner.get_mut() = v;
     }
 }

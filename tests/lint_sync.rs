@@ -1,206 +1,25 @@
-//! The sync-lint pass: a plain token-scan over the workspace's Rust
-//! sources that keeps the memory-model audit trustworthy. Three rules:
+//! The sync-lint pass as a tier-1 test. The rules themselves live in
+//! `crates/lint` (`abr_lint`), shared with the `cargo run -p abr-lint`
+//! CLI used by CI and by `--fix-table`:
 //!
-//! 1. **No direct `std` atomics outside the facade.** All shared-memory
-//!    protocols must go through `abr_sync` (`crates/sync`), or the model
-//!    explorer cannot see their operations.
-//! 2. **Every memory-ordering annotation is justified.** Each use of an
-//!    `Ordering::` constant must carry a `sync:` comment nearby (same
-//!    line, the comment block above, or the line or two below for
-//!    trailing annotations) saying *why* that ordering suffices.
-//! 3. **Every `unsafe` carries a `SAFETY:` comment** in the lines above.
+//! 1. No direct `std` atomics outside the `abr_sync` facade.
+//! 2. Every `Ordering::` annotation carries a nearby `// sync:`
+//!    justification.
+//! 3. Every `unsafe` carries a `SAFETY:` comment.
+//! 4. The set of atomic call sites conforms to the machine-readable
+//!    declared-ordering table in DESIGN.md §7 (both directions: no
+//!    undeclared sites in code, no stale rows in the table).
 //!
-//! The scan is deliberately dumb — raw line tokens, no parsing, no
-//! network, no dependencies — so it runs in the tier-1 suite
-//! unconditionally. The match patterns are assembled at runtime so this
-//! file does not flag itself. `crates/sync` (the facade's own
-//! implementation) and `crates/shims` (vendored third-party stubs) are
-//! exempt.
+//! Plus the residual lock-freedom scan (`residual.rs` must stay free of
+//! locks and blocking primitives). Everything is a raw token scan with
+//! no dependencies, so it runs unconditionally in plain `cargo test`.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// Directory names never descended into.
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
-
-fn rust_files(root: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(root) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if SKIP_DIRS.contains(&name.as_ref()) {
-                continue;
-            }
-            rust_files(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// The code part of a line: everything before a line comment. Naive
-/// (a `//` inside a string literal truncates early), which can only
-/// under-report, never false-positive.
-fn code_of(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
+use std::path::Path;
 
 #[test]
 fn sync_lint() {
     let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut files = Vec::new();
-    for dir in ["src", "tests", "crates"] {
-        rust_files(&repo.join(dir), &mut files);
+    if let Err(report) = abr_lint::run_all(repo) {
+        panic!("{report}");
     }
-    files.sort();
-
-    // Assembled so this file's own source never matches them.
-    let raw_atomics: String = ["std::", "sync::", "atomic"].concat();
-    let ordering_use: String = ["Ordering", "::"].concat();
-    // The full comment form: a bare `sync:` would also match the
-    // `sync::` segment of a raw std atomics path.
-    let sync_comment: String = ["//", " sync", ":"].concat();
-    let unsafe_token: String = ["un", "safe"].concat();
-    let safety_comment: String = ["SAFETY", ":"].concat();
-
-    let is_word_boundary =
-        |b: Option<u8>| b.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == b'_'));
-
-    let mut violations: Vec<String> = Vec::new();
-    for path in &files {
-        let rel = path.strip_prefix(repo).unwrap_or(path).to_string_lossy().replace('\\', "/");
-        let exempt_facade = rel.starts_with("crates/sync/") || rel.starts_with("crates/shims/");
-        if exempt_facade {
-            continue;
-        }
-        let Ok(text) = fs::read_to_string(path) else { continue };
-        let lines: Vec<&str> = text.lines().collect();
-        for (i, line) in lines.iter().enumerate() {
-            let code = code_of(line);
-
-            if code.contains(raw_atomics.as_str()) {
-                violations.push(format!(
-                    "{rel}:{}: direct {raw_atomics} use — go through the abr_sync facade \
-                     so the model explorer can see the operation",
-                    i + 1
-                ));
-            }
-
-            if code.contains(ordering_use.as_str()) {
-                // Justified when a `sync:` comment sits on the same line,
-                // on the line or two below (trailing `^` notes), or in the
-                // comment block above the *statement* — found by walking
-                // upward through continuation lines (code not ending a
-                // statement: multi-line CAS argument lists and the like)
-                // and contiguous comment lines, stopping at a blank line
-                // or a completed statement.
-                let hi = (i + 2).min(lines.len() - 1);
-                let mut justified =
-                    lines[i..=hi].iter().any(|l| l.contains(sync_comment.as_str()));
-                let mut j = i;
-                let mut walked = 0;
-                while !justified && j > 0 && walked < 16 {
-                    j -= 1;
-                    walked += 1;
-                    let raw = lines[j];
-                    if raw.contains(sync_comment.as_str()) {
-                        justified = true;
-                        break;
-                    }
-                    let c = code_of(raw).trim_end();
-                    if c.trim().is_empty() {
-                        if !raw.trim_start().starts_with("//") {
-                            break; // blank line: left the statement region
-                        }
-                        continue; // pure comment line: keep walking
-                    }
-                    match c.as_bytes().last() {
-                        // A finished statement or block above: stop.
-                        Some(b';') | Some(b'{') | Some(b'}') => break,
-                        // Continuation (`,`, `(`, operators…): keep walking.
-                        _ => {}
-                    }
-                }
-                if !justified {
-                    violations.push(format!(
-                        "{rel}:{}: `{ordering_use}` without a `{sync_comment}` justification \
-                         comment nearby",
-                        i + 1
-                    ));
-                }
-            }
-
-            let mut from = 0;
-            while let Some(off) = code[from..].find(unsafe_token.as_str()) {
-                let at = from + off;
-                let before = code.as_bytes()[..at].last().copied();
-                let after = code.as_bytes().get(at + unsafe_token.len()).copied();
-                if is_word_boundary(before) && is_word_boundary(after) {
-                    let lo = i.saturating_sub(4);
-                    let covered =
-                        lines[lo..=i].iter().any(|l| l.contains(safety_comment.as_str()));
-                    if !covered {
-                        violations.push(format!(
-                            "{rel}:{}: `{unsafe_token}` without a `{safety_comment}` comment",
-                            i + 1
-                        ));
-                    }
-                    break;
-                }
-                from = at + unsafe_token.len();
-            }
-        }
-    }
-
-    assert!(
-        files.len() > 20,
-        "lint walked only {} files — the scan roots moved?",
-        files.len()
-    );
-    assert!(
-        violations.is_empty(),
-        "sync lint found {} violation(s):\n{}",
-        violations.len(),
-        violations.join("\n")
-    );
-}
-
-/// The fused residual-slot path must stay lock-free and keep its
-/// publish/reduce ordering pairing: workers publish on every committed
-/// block update, so a lock (or a stray SeqCst "just in case") on that
-/// path would put the monitor back onto the workers' critical path —
-/// the exact cost the fused estimator exists to remove. Token-level,
-/// like the main lint: `residual.rs` may not name any blocking
-/// primitive, must stamp its epoch with `Release`, and must read it
-/// with `Acquire` (the pairing its module doc promises the model
-/// audit).
-#[test]
-fn residual_slots_stay_lock_free() {
-    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let text = fs::read_to_string(repo.join("crates/gpu/src/residual.rs"))
-        .expect("crates/gpu/src/residual.rs must exist — the fused monitor depends on it");
-    let code: String =
-        text.lines().map(code_of).collect::<Vec<_>>().join("\n");
-    // Assembled at runtime so this file's own source never matches the
-    // main lint's `Ordering::` scan.
-    let ordering: String = ["Ordering", "::"].concat();
-    for banned in
-        ["Mutex", "RwLock", "parking_lot", ".lock()", "Condvar", &[&ordering, "SeqCst"].concat()]
-    {
-        assert!(
-            !code.contains(banned),
-            "residual.rs uses `{banned}` — the slot publish/reduce path must stay lock-free"
-        );
-    }
-    let release = [&ordering, "Release"].concat();
-    let acquire = [&ordering, "Acquire"].concat();
-    assert!(
-        code.contains(&release) && code.contains(&acquire),
-        "residual.rs lost its Release-publish / Acquire-reduce pairing"
-    );
 }

@@ -1,0 +1,249 @@
+//! Mutation tests for the happens-before sanitizer under the schedule
+//! explorer.
+//!
+//! The HB shadow (`abr_sync::hb`) exists to catch *missing
+//! synchronization on the data plane* — a payload write whose
+//! publication edge was deleted, an exclusive region written without the
+//! hand-off that makes it exclusive, a halo stamp published for a copy
+//! that never ran. A sanitizer is only trustworthy if it demonstrably
+//! has teeth, so each test here runs a protocol shape twice through the
+//! explorer: the shipped orderings must come out race-clean across every
+//! explored schedule, and a seeded mutation (`Release` → `Relaxed`,
+//! skipped copy) must be *caught*. The shapes mirror the real protocols
+//! (`residual.rs` publish/reduce, the `persistent.rs` stop watermark,
+//! the `halo.rs` elect → copy → stamp refresh) with the ordering under
+//! audit as a parameter, exactly like `tests/model_stop_watermark.rs`.
+//!
+//! `hb::session` goes *inside* the explore body: each explored schedule
+//! gets a fresh shadow, so allocation-address reuse across runs cannot
+//! leak stale evidence.
+//!
+//! Run with `cargo test --features model`.
+#![cfg(feature = "model")]
+
+use block_async_relax::gpu::{AtomicF64Vec, CommStrategy, HaloExchange, ResidualSlots};
+use block_async_relax::sync::hb;
+use block_async_relax::sync::model::{explore_seeded, spawn};
+use block_async_relax::sync::{Ordering, SyncBool, SyncU64, SyncUsize};
+use std::sync::{Arc, Mutex};
+
+/// Runs `shape` once per explored schedule inside a fresh `hb::session`
+/// and returns every race kind detected across all runs.
+fn explore_with_sessions(
+    seed: u64,
+    runs: usize,
+    shape: impl Fn() + Sync,
+) -> Vec<hb::RaceKind> {
+    let kinds = Mutex::new(Vec::new());
+    explore_seeded(seed, runs, || {
+        let (_, races) = hb::session(&shape);
+        kinds.lock().unwrap().extend(races.iter().map(|r| r.kind));
+    })
+    .assert_ok();
+    kinds.into_inner().unwrap()
+}
+
+/// The `ResidualSlots::publish`/`reduce` shape: a worker stores value
+/// bits `Relaxed` then bumps the slot epoch with `publish_ord`; the
+/// monitor spins on an `Acquire` epoch load, then reads the value bits.
+/// The shadow hooks mirror the instrumentation in `residual.rs`.
+fn residual_publish_shape(publish_ord: Ordering) {
+    let val = Arc::new(SyncU64::new(0));
+    let epoch = Arc::new(SyncUsize::new(0));
+    let (v2, e2) = (Arc::clone(&val), Arc::clone(&epoch));
+    let w = spawn(move || {
+        hb::on_data_write(hb::id_of(&*v2), hb::Access::WriteExcl);
+        // sync: Relaxed value store; the epoch bump below is the
+        // publication edge (when the audited ordering is Release).
+        v2.store(2.5f64.to_bits(), Ordering::Relaxed);
+        // sync: test fixture — the ordering under audit.
+        e2.fetch_add(1, publish_ord);
+    });
+    // The monitor runs on the body's virtual thread.
+    // sync: Acquire pairs with the publish bump above when it is Release.
+    while epoch.load(Ordering::Acquire) == 0 {}
+    hb::on_data_read(hb::id_of(&*val), hb::Access::ReadPublished);
+    // sync: Relaxed value read; visibility rests on the epoch edge, and
+    // under the mutated publish the model may legally return stale bits —
+    // which is exactly the condition the shadow must flag.
+    let _ = val.load(Ordering::Relaxed);
+    w.join();
+}
+
+/// The stop-watermark shape: the monitor records the watermark (a
+/// data-plane payload) and raises the stop flag with `store_ord`; a
+/// worker that observes the flag with `load_ord` reads the watermark.
+fn stop_watermark_shape(store_ord: Ordering, load_ord: Ordering) {
+    let rec = Arc::new(SyncUsize::new(0));
+    let stop = Arc::new(SyncBool::new(false));
+    let (r2, s2) = (Arc::clone(&rec), Arc::clone(&stop));
+    let w = spawn(move || loop {
+        // sync: test fixture — the ordering under audit.
+        if s2.load(load_ord) {
+            hb::on_data_read(hb::id_of(&*r2), hb::Access::ReadPublished);
+            // sync: Relaxed payload read; ordered by the flag's edge
+            // when the audited pair is Release/Acquire.
+            let _ = r2.load(Ordering::Relaxed);
+            return;
+        }
+    });
+    hb::on_data_write(hb::id_of(&*rec), hb::Access::WriteExcl);
+    // sync: Relaxed payload store, published by the flag store below.
+    rec.store(7, Ordering::Relaxed);
+    // sync: test fixture — the ordering under audit.
+    stop.store(true, store_ord);
+    w.join();
+}
+
+/// The halo refresh shape: two workers race a `fetch_max` election; the
+/// winner copies into the stage (declared racy) and stamps — unless
+/// `skip_copy` mutates the copy away.
+fn halo_refresh_shape(skip_copy: bool) {
+    let epoch = Arc::new(SyncUsize::new(0));
+    let stage = Arc::new(SyncU64::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let (e, s) = (Arc::clone(&epoch), Arc::clone(&stage));
+            spawn(move || {
+                // sync: election needs RMW atomicity only (the real
+                // election in halo.rs is the same Relaxed fetch_max).
+                if e.fetch_max(1, Ordering::Relaxed) < 1 {
+                    let region = hb::id_of(&*s);
+                    hb::on_elect(region);
+                    if !skip_copy {
+                        hb::on_data_write(hb::id_of(&*s), hb::Access::WriteRacy);
+                        // sync: racy stage copy, mixed-epoch reads allowed.
+                        s.store(42, Ordering::Relaxed);
+                        hb::on_copy(region);
+                    }
+                    hb::on_stamp(region);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+}
+
+/// The shipped residual publish (Release bump) is race-clean everywhere.
+#[test]
+fn release_publish_is_race_clean() {
+    let kinds = explore_with_sessions(0x4e51d, 300, || {
+        // sync: the shipped publication edge — Release epoch bump.
+        residual_publish_shape(Ordering::Release)
+    });
+    assert!(kinds.is_empty(), "clean publish flagged: {kinds:?}");
+}
+
+/// Mutation: downgrading the epoch bump to `Relaxed` deletes the
+/// publication edge — the shadow must report the published read as
+/// unsynchronized.
+#[test]
+fn relaxed_publish_mutation_is_caught() {
+    let kinds = explore_with_sessions(0x4e51e, 300, || {
+        // sync: deliberate mutation — the publication edge deleted.
+        residual_publish_shape(Ordering::Relaxed)
+    });
+    assert!(!kinds.is_empty(), "mutated publish not caught");
+    assert!(
+        kinds.iter().all(|k| *k == hb::RaceKind::UnsyncedPublishedRead),
+        "unexpected race kinds: {kinds:?}"
+    );
+}
+
+/// The shipped stop-flag pairing (Release/Acquire) is race-clean.
+#[test]
+fn release_acquire_stop_flag_is_race_clean() {
+    let kinds = explore_with_sessions(0x57_0c, 300, || {
+        // sync: the shipped pairing — Release store / Acquire loads.
+        stop_watermark_shape(Ordering::Release, Ordering::Acquire)
+    });
+    assert!(kinds.is_empty(), "clean stop flag flagged: {kinds:?}");
+}
+
+/// Mutation: an all-`Relaxed` stop flag lets the worker read the
+/// recorded watermark with no happens-before path from its write.
+#[test]
+fn relaxed_stop_flag_mutation_is_caught() {
+    let kinds = explore_with_sessions(0x57_0d, 300, || {
+        // sync: deliberate mutation — the all-Relaxed flag under audit.
+        stop_watermark_shape(Ordering::Relaxed, Ordering::Relaxed)
+    });
+    assert!(!kinds.is_empty(), "mutated stop flag not caught");
+    assert!(
+        kinds.iter().all(|k| *k == hb::RaceKind::UnsyncedPublishedRead),
+        "unexpected race kinds: {kinds:?}"
+    );
+}
+
+/// The full elect → copy → stamp refresh is race-clean.
+#[test]
+fn halo_refresh_with_copy_is_race_clean() {
+    let kinds = explore_with_sessions(0xa10, 300, || halo_refresh_shape(false));
+    assert!(kinds.is_empty(), "clean refresh flagged: {kinds:?}");
+}
+
+/// Mutation: a winner that stamps without performing its stage copy is
+/// reported — a stamp must never vouch for data that was not staged.
+#[test]
+fn skipped_halo_copy_mutation_is_caught() {
+    let kinds = explore_with_sessions(0xa11, 300, || halo_refresh_shape(true));
+    assert!(!kinds.is_empty(), "skipped copy not caught");
+    assert!(
+        kinds.iter().all(|k| *k == hb::RaceKind::StampWithoutCopy),
+        "unexpected race kinds: {kinds:?}"
+    );
+}
+
+/// The real `ResidualSlots` (not the shape) runs race-clean under the
+/// explorer with a concurrent publisher and reducing monitor.
+#[test]
+fn real_residual_slots_are_race_clean() {
+    let kinds = explore_with_sessions(0x51075, 200, || {
+        let mut slots = ResidualSlots::new();
+        slots.reset(2);
+        let slots = Arc::new(slots);
+        let s2 = Arc::clone(&slots);
+        let w = spawn(move || {
+            s2.publish(0, 1.0);
+            s2.publish(1, 2.0);
+        });
+        loop {
+            if let Some(sum) = slots.reduce() {
+                assert_eq!(sum, 3.0);
+                break;
+            }
+        }
+        w.join();
+    });
+    assert!(kinds.is_empty(), "real ResidualSlots flagged: {kinds:?}");
+}
+
+/// The real `HaloExchange` DC refresh runs race-clean: concurrent
+/// workers racing the per-device elections, winners copying and
+/// stamping, all stage writes declared racy.
+#[test]
+fn real_halo_exchange_is_race_clean() {
+    let kinds = explore_with_sessions(0x4a10, 150, || {
+        let x0 = [1.0, 2.0, 3.0, 4.0];
+        let live = Arc::new(AtomicF64Vec::from_slice(&x0));
+        let h = Arc::new(
+            HaloExchange::for_strategy(CommStrategy::Dc, &[0, 2, 4], &x0, 1).unwrap(),
+        );
+        let handles: Vec<_> = (0..2)
+            .map(|d| {
+                let (h2, l2) = (Arc::clone(&h), Arc::clone(&live));
+                spawn(move || {
+                    for round in 1..3 {
+                        h2.maybe_refresh(d, round, &l2, round);
+                    }
+                })
+            })
+            .collect();
+        for hd in handles {
+            hd.join();
+        }
+    });
+    assert!(kinds.is_empty(), "real HaloExchange flagged: {kinds:?}");
+}

@@ -1,0 +1,106 @@
+//! Epoch-tear semantics of `ResidualSlots` under the schedule explorer.
+//!
+//! The fused-residual protocol promises exactly one thing to the
+//! monitor: a `reduce()` that returns `Some(sum)` only ever sums
+//! *published* values. Two hazards could break that promise under weak
+//! memory:
+//!
+//! * **cold slot** — a block that has never published since the reset;
+//!   summing its zero bits would *undercount* the residual and could
+//!   confirm a stale stop. `reduce` must return `None` instead.
+//! * **epoch tear** — a reader observes a freshly bumped epoch while the
+//!   slot's value bits are still the pre-publish zeros. The
+//!   Release(bump)/Acquire(poll) pairing in `residual.rs` is exactly
+//!   what rules this out; the model runtime's simulated weak memory
+//!   would permit the tear if the orderings were weaker (the mutation is
+//!   caught in `tests/model_hb.rs`).
+//!
+//! So across every explored schedule, each observed `reduce()` must be
+//! either `None` or a sum composed of genuinely published values —
+//! never a mixture involving cold bits.
+//!
+//! Run with `cargo test --features model`.
+#![cfg(feature = "model")]
+
+use block_async_relax::gpu::ResidualSlots;
+use block_async_relax::sync::model::{explore_exhaustive, explore_seeded, spawn};
+use std::sync::Arc;
+
+/// With a concurrent publisher filling both slots (and republishing the
+/// first), every non-`None` reduction is one of the two sums that can be
+/// assembled from published values: `1 + 2` or `5 + 2`. A sum involving
+/// a cold zero (`0 + 2 = 2`) or a torn value would fail the assertion.
+#[test]
+fn reduce_never_sums_cold_or_torn_values() {
+    explore_seeded(0x51_075, 600, || {
+        let mut slots = ResidualSlots::new();
+        slots.reset(2);
+        let slots = Arc::new(slots);
+        let s2 = Arc::clone(&slots);
+        let w = spawn(move || {
+            s2.publish(0, 1.0);
+            s2.publish(1, 2.0);
+            s2.publish(0, 5.0);
+        });
+        for _ in 0..4 {
+            match slots.reduce() {
+                None => {}
+                Some(sum) => assert!(
+                    sum == 3.0 || sum == 7.0,
+                    "reduce returned {sum}, not a sum of published values"
+                ),
+            }
+        }
+        w.join();
+    })
+    .assert_ok();
+}
+
+/// While any slot is cold, `reduce` refuses: a monitor polling
+/// concurrently with a publisher that only ever fills slot 0 must see
+/// `None` on every poll, under every schedule.
+#[test]
+fn reduce_refuses_partial_publication() {
+    explore_seeded(0x51_076, 400, || {
+        let mut slots = ResidualSlots::new();
+        slots.reset(2);
+        let slots = Arc::new(slots);
+        let s2 = Arc::clone(&slots);
+        let w = spawn(move || {
+            s2.publish(0, 1.0);
+        });
+        for _ in 0..3 {
+            assert_eq!(slots.reduce(), None, "reduced past a cold slot");
+        }
+        w.join();
+    })
+    .assert_ok();
+}
+
+/// The cold/torn guarantee swept with bounded preemptions (CHESS-style)
+/// over the smallest interesting instance: one publisher, two slots,
+/// one republish.
+#[test]
+fn reduce_cold_torn_exhaustive() {
+    let outcome = explore_exhaustive(2, 3_000, || {
+        let mut slots = ResidualSlots::new();
+        slots.reset(2);
+        let slots = Arc::new(slots);
+        let s2 = Arc::clone(&slots);
+        let w = spawn(move || {
+            s2.publish(0, 1.0);
+            s2.publish(1, 2.0);
+        });
+        match slots.reduce() {
+            None => {}
+            Some(sum) => assert_eq!(sum, 3.0, "sum includes cold or torn bits"),
+        }
+        w.join();
+    });
+    outcome.assert_ok();
+    assert!(
+        outcome.schedules > 5,
+        "exhaustive sweep explored suspiciously few schedules ({})",
+        outcome.schedules
+    );
+}
