@@ -22,10 +22,10 @@ use crate::convergence::{check_system, relative_residual_with, SolveOptions, Sol
 use abr_gpu::kernel::AllowAll;
 use abr_gpu::schedule::BlockSchedule;
 use abr_gpu::{
-    BlockKernel, BlockScratch, ConvergenceMonitor, FaultPlan, HaloExchange, PersistentExecutor,
-    PersistentOptions, PersistentWorkspace, RandomPermutation, RecurringPattern, RoundRobin,
-    ShardPlan, SimExecutor, SimOptions, ThreadedExecutor, ThreadedOptions, UpdateFilter,
-    UpdateTrace, XView,
+    BlockKernel, BlockScratch, CancelToken, ConvergenceMonitor, FaultPlan, HaloExchange, Lease,
+    PersistentExecutor, PersistentOptions, PersistentWorkspace, RandomPermutation,
+    RecurringPattern, RoundRobin, RunSession, ShardPlan, SimExecutor, SimOptions,
+    ThreadedExecutor, ThreadedOptions, UpdateFilter, UpdateTrace, WorkerPool, XView,
 };
 use abr_sparse::block_plan::BlockEll;
 use abr_sparse::simd::{f64x4, LANES};
@@ -473,6 +473,108 @@ impl AsyncBlockSolver {
         };
         Ok(FaultedSolve { result, trace, report, checks })
     }
+
+    /// The multi-tenant solve: runs on threads **leased from a shared
+    /// [`WorkerPool`]** instead of spawning a scope, so many concurrent
+    /// solves multiplex one long-lived set of workers — the solve-service
+    /// execution path. The shard plan is the even split over the lease
+    /// size ([`ShardPlan::even`]), so a request's parallelism is exactly
+    /// what admission control granted it.
+    ///
+    /// `run.cancel` wires a request-scoped [`CancelToken`] (client
+    /// cancellation and/or deadline) into the monitor loop: within one
+    /// monitor poll of the token firing, the run raises the ordinary
+    /// Release stop flag, the leased workers drain, and the lease returns
+    /// to the pool. The outcome is reported through
+    /// [`SolveResult::fault`]'s report and `FaultedSolve.report.outcome`
+    /// ([`abr_gpu::RunOutcome::Cancelled`] /
+    /// [`abr_gpu::RunOutcome::DeadlineExceeded`]), with
+    /// `result.iterations` the *partial* global-iteration watermark.
+    /// `run.faults` optionally injects a chaos [`FaultPlan`] — the
+    /// service's `--chaos` mode — contained to this request by the pool's
+    /// per-slice `catch_unwind`.
+    pub fn solve_leased(
+        &self,
+        a: &CsrMatrix,
+        rhs: &[f64],
+        x0: &[f64],
+        partition: &RowPartition,
+        opts: &SolveOptions,
+        run: LeasedRun<'_>,
+    ) -> Result<FaultedSolve> {
+        check_system(a, rhs, x0);
+        assert_eq!(partition.n(), a.n_rows(), "partition must cover the system");
+        let kernel = AsyncJacobiKernel::with_sweep(
+            a,
+            rhs,
+            partition,
+            self.local_iters,
+            self.damping,
+            self.local_sweep,
+        )?;
+        let shards = ShardPlan::even(kernel.n_blocks(), run.lease.n());
+        let exec = PersistentExecutor::new(run.exec_opts);
+        let mut schedule = self.schedule.build();
+        let period = if opts.tol > 0.0 { opts.check_every.max(1) } else { 0 };
+        let mut monitor = ResidualMonitor::new(a, rhs, opts.tol, period);
+        let mut ws = PersistentWorkspace::new();
+        let mut x = x0.to_vec();
+        let (trace, report) = exec.run_session(
+            &kernel,
+            &mut x,
+            opts.max_iters,
+            schedule.as_mut(),
+            &AllowAll,
+            &mut monitor,
+            &mut ws,
+            RunSession {
+                shards: Some(&shards),
+                faults: run.faults,
+                cancel: run.cancel,
+                pool: Some((run.pool, run.lease)),
+                ..RunSession::default()
+            },
+        );
+        // Stopped runs report the monitor's stop watermark; interrupted
+        // runs (cancel / deadline / stall) report the partial watermark.
+        let iterations = match report.stopped_at {
+            Some(at) => at,
+            None if report.outcome == abr_gpu::RunOutcome::Completed => opts.max_iters,
+            None => report.global_iterations,
+        };
+        let checks = std::mem::take(&mut monitor.checks);
+        let mut rbuf = monitor.into_scratch();
+        let final_residual = relative_residual_with(&mut rbuf, a, rhs, &x);
+        let converged = opts.tol > 0.0 && final_residual <= opts.tol;
+        let result = SolveResult {
+            x,
+            iterations,
+            converged,
+            final_residual,
+            history: Vec::new(),
+            fault: Some(report.fault.clone()),
+        };
+        Ok(FaultedSolve { result, trace, report, checks })
+    }
+}
+
+/// The pool half of a [`AsyncBlockSolver::solve_leased`] call: which
+/// shared [`WorkerPool`] runs the solve, the admission-granted [`Lease`],
+/// and the optional request-scoped cancellation and chaos plumbing.
+pub struct LeasedRun<'a> {
+    /// The shared worker pool the lease came from.
+    pub pool: &'a WorkerPool,
+    /// The admission-granted thread reservation; its size is the solve's
+    /// worker count and shard count.
+    pub lease: Lease<'a>,
+    /// Request-scoped cancel/deadline token, polled by the monitor loop.
+    pub cancel: Option<&'a CancelToken>,
+    /// Chaos fault plan for this request (`--chaos` mode); `None` runs
+    /// fault-free.
+    pub faults: Option<&'a FaultPlan>,
+    /// Executor tuning (lag gate, stall pacing, recovery knobs). The
+    /// worker count is taken from the lease, not from here.
+    pub exec_opts: PersistentOptions,
 }
 
 /// Everything a [`AsyncBlockSolver::solve_faulted`] run produces.

@@ -1,0 +1,126 @@
+//! FNV-1a fingerprints of solve inputs — the cache-key primitive of the
+//! solve service.
+//!
+//! A result cache keyed on "the same system" needs a cheap, stable,
+//! structure-sensitive digest of `(A, b, tolerance, scheme)`. FNV-1a over
+//! the matrix's shape, sparsity pattern, and value *bit patterns* (not
+//! rounded decimals — two matrices that differ in one ULP are different
+//! systems) is exactly that: one linear pass, no allocation, no
+//! dependency. It is a fingerprint for cache lookup and single-flight
+//! coalescing, **not** a cryptographic commitment — a caller that needs
+//! adversarial collision resistance needs a different tool.
+
+use abr_sparse::CsrMatrix;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher over raw bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the digest.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Folds a `usize` (widened to `u64` so the digest is identical on
+    /// 32- and 64-bit hosts) into the digest.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Folds an `f64`'s bit pattern into the digest. `-0.0` and `0.0`
+    /// hash differently, as do distinct NaN payloads — bit identity is
+    /// the equality the cache promises.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of a CSR matrix: shape, row pointers, column indices, and
+/// value bit patterns, in storage order. Two matrices fingerprint equal
+/// iff their CSR representations are byte-identical (same pattern, same
+/// entry order, same value bits).
+pub fn fingerprint_matrix(a: &CsrMatrix) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(a.n_rows()).write_usize(a.n_cols()).write_usize(a.nnz());
+    for &p in a.row_ptr() {
+        h.write_usize(p);
+    }
+    for &c in a.col_idx() {
+        h.write_usize(c);
+    }
+    for &v in a.values() {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a dense vector (length + value bit patterns) — the
+/// right-hand-side / initial-guess half of the cache key.
+pub fn fingerprint_vec(v: &[f64]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(v.len());
+    for &x in v {
+        h.write_f64(x);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_sparse::gen;
+
+    #[test]
+    fn equal_inputs_fingerprint_equal() {
+        let a = gen::laplacian_2d_5pt(6);
+        let b = gen::laplacian_2d_5pt(6);
+        assert_eq!(fingerprint_matrix(&a), fingerprint_matrix(&b));
+        assert_eq!(fingerprint_vec(&[1.0, 2.0]), fingerprint_vec(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn value_and_structure_changes_move_the_fingerprint() {
+        let a = gen::laplacian_2d_5pt(6);
+        let fp = fingerprint_matrix(&a);
+        let mut b = gen::laplacian_2d_5pt(6);
+        b.values_mut()[0] += 1e-13; // one ULP-ish nudge is a new system
+        assert_ne!(fp, fingerprint_matrix(&b));
+        assert_ne!(fp, fingerprint_matrix(&gen::laplacian_2d_5pt(7)));
+    }
+
+    #[test]
+    fn vector_fingerprint_is_bit_sensitive_and_length_sensitive() {
+        assert_ne!(fingerprint_vec(&[0.0]), fingerprint_vec(&[-0.0]));
+        assert_ne!(fingerprint_vec(&[]), fingerprint_vec(&[0.0]));
+        // Length is folded in, so a zero is not a no-op prefix.
+        assert_ne!(fingerprint_vec(&[0.0, 1.0]), fingerprint_vec(&[1.0]));
+    }
+}

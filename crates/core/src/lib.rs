@@ -27,6 +27,7 @@ pub mod cg;
 pub mod chazan;
 pub mod chebyshev;
 pub mod convergence;
+pub mod fingerprint;
 pub mod gauss_seidel;
 pub mod gmres;
 pub mod jacobi;
@@ -38,9 +39,10 @@ pub mod smoother;
 pub mod sor;
 
 pub use async_block::{
-    AsyncBlockSolver, ExecutorKind, FaultedSolve, LocalSweep, ResidualMonitor, ScheduleKind,
-    FUSED_FORCE_EXACT_EVERY, FUSED_GUARD_BAND, URGENT_BAND,
+    AsyncBlockSolver, ExecutorKind, FaultedSolve, LeasedRun, LocalSweep, ResidualMonitor,
+    ScheduleKind, FUSED_FORCE_EXACT_EVERY, FUSED_GUARD_BAND, URGENT_BAND,
 };
+pub use fingerprint::{fingerprint_matrix, fingerprint_vec, Fnv1a};
 pub use bicgstab::bicgstab;
 pub use block_jacobi::block_jacobi;
 pub use cg::conjugate_gradient;

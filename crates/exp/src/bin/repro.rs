@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! repro [--scale full|small] [--runs N] [--seed S] [--out DIR]
-//!       [--out-metrics FILE] <experiment>...
+//!       [--out-metrics FILE] [--mtx PATH] <experiment>...
 //!
 //! experiments:
 //!   table1 nondet (= table2 table3 fig5) fig6 fig7 table4 fig8 table5
-//!   fig9 fig10 (= table6) fig11 staleness ablation recovery all
+//!   fig9 fig10 (= table6) fig11 staleness ablation recovery ingest all
+//!
+//! `ingest` runs the convergence comparison on an externally supplied
+//! MatrixMarket file (`--mtx PATH`; a small sample is checked in at
+//! `crates/exp/data/lap8.mtx`) instead of the generator suite.
 //! ```
 //!
 //! Results print as markdown/text; with `--out DIR` each artifact is also
@@ -15,8 +19,8 @@
 //! solve (for the experiments that produce them) to `FILE`.
 
 use abr_exp::experiments::{
-    ablation, comm_staleness, convergence_figs, fault_exp, fig11, fig9, nondet, recovery,
-    resilience, table1, theory, timing_tables, verify,
+    ablation, comm_staleness, convergence_figs, fault_exp, fig11, fig9, ingest, nondet,
+    recovery, resilience, table1, theory, timing_tables, verify,
 };
 use abr_exp::metrics::{JsonlFileSink, MetricsSink, NullSink};
 use abr_exp::report::{Figure, Table};
@@ -29,18 +33,20 @@ struct Cli {
     opts: ExpOptions,
     out: Option<PathBuf>,
     out_metrics: Option<PathBuf>,
+    mtx: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 const USAGE: &str = "usage: repro [--scale full|small] [--runs N] [--seed S] \
-[--out DIR] [--out-metrics FILE] <experiment>...\nexperiments: table1 nondet \
+[--out DIR] [--out-metrics FILE] [--mtx PATH] <experiment>...\nexperiments: table1 nondet \
 fig6 fig7 table4 fig8 table5 fig9 fig10 fig11 staleness ablation recovery \
-resilience theory verify export-matrices all";
+resilience theory verify ingest export-matrices all";
 
 fn parse_args() -> Result<Cli, String> {
     let mut opts = ExpOptions::default();
     let mut out = None;
     let mut out_metrics = None;
+    let mut mtx = None;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +70,9 @@ fn parse_args() -> Result<Cli, String> {
                 out_metrics =
                     Some(PathBuf::from(args.next().ok_or("--out-metrics needs a value")?));
             }
+            "--mtx" => {
+                mtx = Some(PathBuf::from(args.next().ok_or("--mtx needs a value")?));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -75,7 +84,7 @@ fn parse_args() -> Result<Cli, String> {
     if experiments.is_empty() {
         return Err(format!("no experiment given; try `repro all`\n{USAGE}"));
     }
-    Ok(Cli { opts, out, out_metrics, experiments })
+    Ok(Cli { opts, out, out_metrics, mtx, experiments })
 }
 
 fn emit_table(t: &Table, out: Option<&Path>, stem: &str) {
@@ -110,6 +119,7 @@ fn run_one(
     name: &str,
     opts: &ExpOptions,
     out: Option<&Path>,
+    mtx: Option<&Path>,
     sink: &mut dyn MetricsSink,
 ) -> Result<(), String> {
     let err = |e: abr_sparse::SparseError| format!("{name}: {e}");
@@ -153,6 +163,10 @@ fn run_one(
             emit_table(&r.table, out, "recovery");
             emit_figure(&r.figure, out, "recovery_fig10");
         }
+        "ingest" => {
+            let path = mtx.ok_or("ingest needs --mtx PATH")?;
+            emit_table(&ingest::run_with_sink(opts, path, sink).map_err(err)?, out, "ingest");
+        }
         "resilience" => emit_table(&resilience::run(opts).map_err(err)?, out, "resilience"),
         "theory" => emit_table(&theory::run(opts).map_err(err)?, out, "theory"),
         "verify" => {
@@ -187,7 +201,7 @@ fn run_one(
                 "fig10", "fig11", "staleness", "ablation", "recovery", "resilience", "theory",
             ] {
                 eprintln!("== running {e} ==");
-                run_one(e, opts, out, sink)?;
+                run_one(e, opts, out, mtx, sink)?;
             }
         }
         other => return Err(format!("unknown experiment: {other}")),
@@ -220,7 +234,9 @@ fn main() -> ExitCode {
         },
     };
     for name in &cli.experiments {
-        if let Err(e) = run_one(name, &cli.opts, cli.out.as_deref(), sink.as_mut()) {
+        if let Err(e) =
+            run_one(name, &cli.opts, cli.out.as_deref(), cli.mtx.as_deref(), sink.as_mut())
+        {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }

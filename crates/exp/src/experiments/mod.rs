@@ -8,6 +8,7 @@ pub mod convergence_figs;
 pub mod fault_exp;
 pub mod fig11;
 pub mod fig9;
+pub mod ingest;
 pub mod nondet;
 pub mod recovery;
 pub mod resilience;

@@ -157,11 +157,16 @@ impl MetricsSink for MemorySink {
 }
 
 /// Appends one JSON line per record to a file (the `--out-metrics FILE`
-/// sink of the `repro` binary).
+/// sink of the `repro` binary and the daemon's per-request stream).
+///
+/// Line-buffered: every record hits the file at the newline, so a
+/// long-running daemon's metrics are tailable (`tail -f`) and every
+/// completed record survives a crash mid-solve. The trailing-flush cost
+/// is one small `write(2)` per solve — noise next to the solve itself.
 #[derive(Debug)]
 pub struct JsonlFileSink {
     path: PathBuf,
-    writer: std::io::BufWriter<std::fs::File>,
+    writer: std::io::LineWriter<std::fs::File>,
 }
 
 impl JsonlFileSink {
@@ -169,7 +174,7 @@ impl JsonlFileSink {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlFileSink> {
         let path = path.as_ref().to_path_buf();
         let file = std::fs::File::create(&path)?;
-        Ok(JsonlFileSink { path, writer: std::io::BufWriter::new(file) })
+        Ok(JsonlFileSink { path, writer: std::io::LineWriter::new(file) })
     }
 
     /// The file being written.
@@ -270,6 +275,22 @@ mod tests {
         let lines: Vec<&str> = body.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[1].contains("\"fault\":null"));
+    }
+
+    #[test]
+    fn file_sink_is_tailable_record_by_record() {
+        // No explicit flush, sink still alive: each record must already
+        // be on disk (the daemon-crash / `tail -f` guarantee).
+        let path = std::env::temp_dir().join(format!("abr_tail_{}.jsonl", std::process::id()));
+        let mut sink = JsonlFileSink::create(&path).unwrap();
+        sink.record(&sample());
+        let after_one = std::fs::read_to_string(&path).unwrap();
+        sink.record(&sample());
+        let after_two = std::fs::read_to_string(&path).unwrap();
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(after_one.lines().count(), 1, "first record visible before flush");
+        assert_eq!(after_two.lines().count(), 2, "second record visible before flush");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod halo;
 pub mod kernel;
 pub mod occupancy;
 pub mod persistent;
+pub mod pool;
 pub mod residual;
 pub mod schedule;
 pub mod sim;
@@ -41,8 +42,9 @@ pub use occupancy::{occupancy, KernelFootprint, Occupancy, SmLimits};
 pub use persistent::{
     ConvergenceMonitor, DeathRecord, FaultKind, FaultPlan, FaultReport, FrozenSpan, NoMonitor,
     PersistentExecutor, PersistentOptions, PersistentReport, PersistentWorkspace, Reassignment,
-    RunOutcome, ShardPhase, ShardPlan, ShardState, WorkerFault,
+    RunOutcome, RunSession, ShardPhase, ShardPlan, ShardState, WorkerFault,
 };
+pub use pool::{CancelCause, CancelToken, Lease, WorkerPool};
 pub use residual::ResidualSlots;
 pub use schedule::{BlockSchedule, RandomPermutation, RecurringPattern, RoundRobin};
 pub use sim::{SimExecutor, SimOptions};

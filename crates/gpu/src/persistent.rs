@@ -33,6 +33,7 @@
 
 use crate::halo::HaloExchange;
 use crate::kernel::{BlockKernel, BlockScratch, UpdateFilter};
+use crate::pool::{CancelCause, CancelToken, Lease, WorkerPool};
 use crate::residual::ResidualSlots;
 use crate::schedule::BlockSchedule;
 use crate::threaded::acquire_block_flag;
@@ -64,6 +65,23 @@ impl ShardPlan {
         assert_eq!(offsets[0], 0, "shard offsets must start at 0");
         assert!(offsets.windows(2).all(|w| w[0] < w[1]), "shards must be non-empty");
         ShardPlan { offsets: offsets.to_vec() }
+    }
+
+    /// The even `n_shards`-way split of `n_blocks` blocks (the first
+    /// `n_blocks % n_shards` shards take one extra) — the same split the
+    /// executor uses when no plan is passed, made explicit so a caller
+    /// multiplexing many solves (the service daemon leasing worker
+    /// slices) hands every run a concrete plan.
+    pub fn even(n_blocks: usize, n_shards: usize) -> ShardPlan {
+        let n_shards = n_shards.clamp(1, n_blocks.max(1));
+        let q = n_blocks / n_shards;
+        let r = n_blocks % n_shards;
+        let mut offsets = Vec::with_capacity(n_shards + 1);
+        offsets.push(0);
+        for s in 0..n_shards {
+            offsets.push(offsets[s] + q + usize::from(s < r));
+        }
+        ShardPlan { offsets }
     }
 
     /// Number of shards.
@@ -188,6 +206,13 @@ pub enum RunOutcome {
     /// that no recovery will ever release. The run terminates within the
     /// stall supervision budget instead of polling forever.
     Stalled,
+    /// A request-scoped [`CancelToken`] was cancelled mid-run: the
+    /// monitor translated it into the stop flag and the workers drained
+    /// within one poll. The iterate holds the partial result.
+    Cancelled,
+    /// The [`CancelToken`]'s deadline passed mid-run; otherwise exactly
+    /// like [`Cancelled`](Self::Cancelled).
+    DeadlineExceeded,
 }
 
 /// One detected worker death.
@@ -697,7 +722,8 @@ pub struct PersistentReport {
     pub fused_checks: usize,
     /// Updates a worker executed from a shard other than its home shard.
     pub stolen_updates: usize,
-    /// OS threads spawned — always exactly the worker count, once.
+    /// Worker threads engaged — spawned for a scoped run, leased from
+    /// the [`WorkerPool`] for a pooled one; always the worker count.
     pub workers_spawned: usize,
     /// Halo stage refreshes performed (0 when the run had no
     /// [`HaloExchange`] — single-device or DK).
@@ -706,6 +732,46 @@ pub struct PersistentReport {
     pub outcome: RunOutcome,
     /// What the fault runtime saw (empty for a fault-free run).
     pub fault: FaultReport,
+    /// Worker bodies that unwound *outside* the per-sweep `catch_unwind`
+    /// (an executor bug or a violated contract, never a planned fault)
+    /// and were contained by the pool harness. Always 0 on the scoped
+    /// path, where such a panic propagates out of the thread scope; a
+    /// pooled caller must treat any non-zero value as a failed run whose
+    /// result is untrustworthy.
+    pub escaped_panics: usize,
+}
+
+/// The extended execution context of
+/// [`PersistentExecutor::run_session`]: everything beyond the core
+/// (kernel, iterate, schedule, filter, monitor, workspace) arguments.
+/// `RunSession::default()` reproduces a plain [`PersistentExecutor::run`].
+#[derive(Default)]
+pub struct RunSession<'a> {
+    /// Explicit shard partition (device slices); `None` for the even
+    /// `n_workers`-way split.
+    pub shards: Option<&'a ShardPlan>,
+    /// Staged halo for off-shard reads; `None` for live reads.
+    pub halo: Option<&'a HaloExchange>,
+    /// Live fault plan; `None` for a fault-free run.
+    pub faults: Option<&'a FaultPlan>,
+    /// Request-scoped cancellation/deadline token, polled by the monitor.
+    pub cancel: Option<&'a CancelToken>,
+    /// Run on leased threads of a long-lived pool instead of spawning a
+    /// scope; the lease size becomes the worker count.
+    pub pool: Option<(&'a WorkerPool, Lease<'a>)>,
+}
+
+/// Raises the stop flag when dropped — the unwind backstop that keeps a
+/// panicking monitor from leaving workers to run their full budget
+/// before the scope join (or pool wait) can complete. On the normal path
+/// the workers are already done and the store is inert.
+struct RaiseStopOnExit<'a>(&'a SyncBool);
+
+impl Drop for RaiseStopOnExit<'_> {
+    fn drop(&mut self) {
+        // sync: Release mirrors the monitor's stop-store discipline.
+        self.0.store(true, Ordering::Release);
+    }
 }
 
 /// The persistent-worker executor.
@@ -814,6 +880,53 @@ impl PersistentExecutor {
         halo: Option<&HaloExchange>,
         faults: Option<&FaultPlan>,
     ) -> (UpdateTrace, PersistentReport) {
+        self.run_session(
+            kernel,
+            x,
+            rounds,
+            schedule,
+            filter,
+            monitor,
+            ws,
+            RunSession { shards, halo, faults, ..RunSession::default() },
+        )
+    }
+
+    /// The fully general entry point: [`run_faulted`](Self::run_faulted)
+    /// plus the request-scoped extensions a multi-tenant caller needs,
+    /// bundled in a [`RunSession`].
+    ///
+    /// * **Cancellation/deadline** ([`RunSession::cancel`]): the monitor
+    ///   polls the token once per poll and translates a fired token into
+    ///   the ordinary Release stop store, so the run ends (and its leased
+    ///   workers free up) within one monitor poll. The outcome is
+    ///   [`RunOutcome::Cancelled`] / [`RunOutcome::DeadlineExceeded`] and
+    ///   the iterate holds the partial result;
+    ///   [`PersistentReport::global_iterations`] is the partial count.
+    /// * **Pooled execution** ([`RunSession::pool`]): instead of spawning
+    ///   a thread scope, the run consumes a [`Lease`] from a long-lived
+    ///   [`WorkerPool`] and dispatches the same worker body onto the
+    ///   leased threads; the worker count is the lease size (the
+    ///   executor's `n_workers` option is ignored). The monitor still
+    ///   runs on the calling thread, and the run does not return until
+    ///   every leased worker has finished — the pool's completion edge
+    ///   plays the thread-scope join edge, so all post-run reads stay
+    ///   exact. A worker body that unwinds on a pooled run is contained
+    ///   by the pool and surfaced via
+    ///   [`PersistentReport::escaped_panics`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_session(
+        &self,
+        kernel: &dyn BlockKernel,
+        x: &mut [f64],
+        rounds: usize,
+        schedule: &mut dyn BlockSchedule,
+        filter: &dyn UpdateFilter,
+        monitor: &mut dyn ConvergenceMonitor,
+        ws: &mut PersistentWorkspace,
+        session: RunSession<'_>,
+    ) -> (UpdateTrace, PersistentReport) {
+        let RunSession { shards, halo, faults, cancel, pool } = session;
         let nb = kernel.n_blocks();
         assert_eq!(x.len(), kernel.n(), "iterate length must match kernel");
         let mut trace = UpdateTrace::new(nb);
@@ -822,7 +935,12 @@ impl PersistentExecutor {
             return (trace, report);
         }
 
-        let n_workers = self.opts.n_workers.max(1);
+        // A pooled run's parallelism is its lease, not the option: the
+        // pool arbitrates how many workers each concurrent solve gets.
+        let n_workers = match &pool {
+            Some((_, lease)) => lease.n().max(1),
+            None => self.opts.n_workers.max(1),
+        };
         let n_shards = match shards {
             Some(plan) => plan.n_shards(),
             None => n_workers.min(nb),
@@ -944,19 +1062,18 @@ impl PersistentExecutor {
             .collect();
         let shard_fence = &shard_fence;
         let started = Instant::now();
+        let stop = &stop;
 
-        std::thread::scope(|scope| {
-            for w in 0..n_workers {
-                let stop = &stop;
-                let active = &active;
-                let skipped = &skipped;
-                let stolen = &stolen;
-                let panics = &panics;
-                let stale_sink = &stale_sink;
-                let reassign_log = &reassign_log;
+        // The worker body, shared verbatim by both execution modes — the
+        // classic scoped spawn (threads born and joined per run) and the
+        // pooled dispatch (threads leased from a long-lived
+        // [`WorkerPool`]). It captures the whole solve-local environment
+        // by shared reference; all per-worker mutable state lives inside.
+        let worker = |w: usize| {
+            {
                 let my_fault =
                     faults.and_then(|p| p.fault_for(w)).map(|f| (f.kind, f.at_round));
-                scope.spawn(move || {
+                {
                     let home = w % n_shards;
                     // Per-worker buffers: allocated at spawn (= solve
                     // start), allocation-free once capacities settle.
@@ -1275,13 +1392,17 @@ impl PersistentExecutor {
                     // — "active == 0" proves every worker's final writes
                     // are visible before the monitor loop exits.
                     active.fetch_sub(1, Ordering::Release);
-                });
+                }
             }
+        };
 
-            // --- The concurrent monitor, on the calling thread. ---
-            // This is the paper's host: it reads the racy iterate on the
-            // side while the workers stream updates, and raises the stop
-            // flag the moment its check is satisfied.
+        // --- The concurrent monitor, on the calling thread. ---
+        // This is the paper's host: it reads the racy iterate on the
+        // side while the workers stream updates, and raises the stop
+        // flag the moment its check is satisfied. Wrapped as a closure so
+        // both execution modes run the identical loop.
+        let mut cancel_cause: Option<CancelCause> = None;
+        let mut monitor_loop = || {
             let period = monitor.period();
             let mut next_check = period.max(1);
             let base_pause = self.opts.monitor_pause.max(Duration::from_micros(1));
@@ -1330,6 +1451,21 @@ impl PersistentExecutor {
                 let live = active.load(Ordering::Acquire);
                 if live == 0 {
                     break;
+                }
+                // The request-scoped stop: an explicit cancellation or an
+                // expired deadline becomes the run's ordinary Release
+                // stop store on the very next poll — the workers (and a
+                // pooled run's leased threads) drain within one monitor
+                // poll, the latency bound the service layer advertises.
+                if cancel_cause.is_none() {
+                    if let Some(tok) = cancel {
+                        if let Some(why) = tok.should_stop() {
+                            cancel_cause = Some(why);
+                            // sync: Release pairs with the workers'
+                            // Acquire stop loads, as at every stop site.
+                            stop.store(true, Ordering::Release);
+                        }
+                    }
                 }
                 let mut sig = live;
                 for hb in heartbeats.iter() {
@@ -1610,7 +1746,39 @@ impl PersistentExecutor {
                     idle_pause = (idle_pause * 2).min(max_pause);
                 }
             }
-        });
+        };
+
+        match pool {
+            None => {
+                // The classic lifecycle: one scope, n_workers spawns,
+                // joined before the post-run reads below.
+                std::thread::scope(|scope| {
+                    for w in 0..n_workers {
+                        let worker = &worker;
+                        scope.spawn(move || worker(w));
+                    }
+                    // Unwind backstop: a panicking monitor (e.g. a
+                    // violated contract assert) raises stop on the way
+                    // out so the scope join does not wait for the full
+                    // round budget.
+                    let _raise = RaiseStopOnExit(stop);
+                    monitor_loop();
+                });
+            }
+            Some((pool, lease)) => {
+                // The pooled lifecycle: the same worker body on leased
+                // long-lived threads, monitor still on this thread.
+                let pending = pool.dispatch(lease, &worker);
+                {
+                    let _raise = RaiseStopOnExit(stop);
+                    monitor_loop();
+                }
+                // The wait is the pooled run's join edge — the post-run
+                // reads below are exact for the same reason they are
+                // after a thread scope.
+                report.escaped_panics = pending.wait();
+            }
+        }
 
         trace.elapsed = started.elapsed().as_secs_f64();
         // Fold still-frozen outages (the no-recovery regime) into the
@@ -1650,6 +1818,14 @@ impl PersistentExecutor {
             .all(|s| next[s].load(Ordering::Relaxed) >= shard_total[s])
         {
             RunOutcome::Completed
+        } else if let Some(why) = cancel_cause {
+            // Undrained because the request-scoped token fired: the
+            // caller asked for the stop, so this is neither convergence
+            // nor a wedge.
+            match why {
+                CancelCause::Cancelled => RunOutcome::Cancelled,
+                CancelCause::DeadlineExceeded => RunOutcome::DeadlineExceeded,
+            }
         } else {
             // Undrained and never stopped by a check: the workers exited
             // on kills or on the stall-supervision stop — either way the
@@ -1926,6 +2102,139 @@ mod tests {
         for &v in &x {
             assert!((v - mean).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn even_shard_plan_matches_the_implicit_split() {
+        let plan = ShardPlan::even(10, 4);
+        assert_eq!(plan.offsets(), &[0, 3, 6, 8, 10]);
+        assert_eq!(plan.n_shards(), 4);
+        // More shards than blocks clamps to one block per shard.
+        assert_eq!(ShardPlan::even(3, 8).offsets(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pooled_run_matches_scoped_semantics_and_reuses_the_pool() {
+        let pool = crate::pool::WorkerPool::new(4);
+        let kernel = ConsensusKernel { n: 48, block_size: 4 }; // 12 blocks
+        let exec = PersistentExecutor::default();
+        let mut ws = PersistentWorkspace::new();
+        // Several consecutive solves on the same leased pool: the fabric
+        // outlives every run (the daemon lifecycle in miniature).
+        for round in 0..3 {
+            let mut x: Vec<f64> = (0..48).map(|i| (i + round) as f64).collect();
+            let lease = pool.try_lease(3).expect("pool is idle between runs");
+            let plan = ShardPlan::even(kernel.n_blocks(), lease.n());
+            let (trace, report) = exec.run_session(
+                &kernel,
+                &mut x,
+                50,
+                &mut RandomPermutation::new(round as u64),
+                &AllowAll,
+                &mut NoMonitor,
+                &mut ws,
+                RunSession {
+                    shards: Some(&plan),
+                    pool: Some((&pool, lease)),
+                    ..RunSession::default()
+                },
+            );
+            assert_eq!(trace.updates_per_block, vec![50; 12]);
+            assert_eq!(report.global_iterations, 50);
+            assert_eq!(report.outcome, RunOutcome::Completed);
+            assert_eq!(report.workers_spawned, 3, "worker count is the lease size");
+            assert_eq!(report.escaped_panics, 0);
+            assert!(trace.max_skew <= exec.opts.max_round_lag + 1);
+            let mean = x.iter().sum::<f64>() / 48.0;
+            for &v in &x {
+                assert!((v - mean).abs() < 1e-5, "not converged: {v} vs {mean}");
+            }
+            assert_eq!(pool.idle(), 4, "lease returned after the run");
+        }
+        assert_eq!(pool.shutdown(), 4);
+    }
+
+    #[test]
+    fn cancel_token_stops_a_run_and_reports_cancelled() {
+        let kernel = ConsensusKernel { n: 48, block_size: 4 };
+        let mut x: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let exec = PersistentExecutor::new(PersistentOptions {
+            n_workers: 2,
+            ..PersistentOptions::default()
+        });
+        let mut ws = PersistentWorkspace::new();
+        let token = CancelToken::new();
+        token.cancel(); // fired before the first poll: stops immediately
+        let (trace, report) = exec.run_session(
+            &kernel,
+            &mut x,
+            200_000,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+            RunSession { cancel: Some(&token), ..RunSession::default() },
+        );
+        assert_eq!(report.outcome, RunOutcome::Cancelled);
+        assert!(
+            trace.total_updates() < 200_000 * 12,
+            "cancellation must stop the run early: {} updates",
+            trace.total_updates()
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_partial_progress_on_a_pooled_run() {
+        let pool = crate::pool::WorkerPool::new(2);
+        let kernel = ConsensusKernel { n: 48, block_size: 4 };
+        let exec = PersistentExecutor::default();
+        let mut ws = PersistentWorkspace::new();
+        let lease = pool.try_lease(2).unwrap();
+        let plan = ShardPlan::even(kernel.n_blocks(), lease.n());
+        let token =
+            CancelToken::with_deadline(Instant::now() + Duration::from_millis(5));
+        let mut x: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let (_, report) = exec.run_session(
+            &kernel,
+            &mut x,
+            usize::MAX / (12 * 4), // far more rounds than 5 ms allows
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+            RunSession {
+                shards: Some(&plan),
+                cancel: Some(&token),
+                pool: Some((&pool, lease)),
+                ..RunSession::default()
+            },
+        );
+        assert_eq!(report.outcome, RunOutcome::DeadlineExceeded);
+        // The shards came back: the next request on the same pool leases
+        // the full width and completes fault-free.
+        let lease = pool.try_lease(2).expect("deadline-out run released its lease");
+        let plan = ShardPlan::even(kernel.n_blocks(), lease.n());
+        let mut y: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let (_, report2) = exec.run_session(
+            &kernel,
+            &mut y,
+            50,
+            &mut RoundRobin,
+            &AllowAll,
+            &mut NoMonitor,
+            &mut ws,
+            RunSession {
+                shards: Some(&plan),
+                pool: Some((&pool, lease)),
+                ..RunSession::default()
+            },
+        );
+        assert_eq!(report2.outcome, RunOutcome::Completed);
+        let mean = y.iter().sum::<f64>() / 48.0;
+        for &v in &y {
+            assert!((v - mean).abs() < 1e-5);
+        }
+        assert_eq!(pool.shutdown(), 2);
     }
 
     #[test]

@@ -588,6 +588,25 @@ mod tests {
     }
 
     #[test]
+    fn service_crate_is_in_lint_scope() {
+        // The daemon is concurrency-bearing product code: rules 1-3
+        // apply (not exempt) and rule 4 audits its sources. Its tests
+        // stay outside rule 4 like every other test tree.
+        assert!(!exempt("crates/service/src/daemon.rs"));
+        assert!(conformance_scope("crates/service/src/daemon.rs"));
+        assert!(conformance_scope("crates/service/src/cache.rs"));
+        assert!(!conformance_scope("crates/service/tests/service_soak.rs"));
+        // The daemon's shutdown flag goes through the facade; the scan
+        // must actually see those sites, or the §7 table silently loses
+        // the service layer.
+        let sites = scan_ordering_sites(&workspace_root());
+        assert!(
+            sites.keys().any(|(f, _, _)| f == "crates/service/src/daemon.rs"),
+            "daemon.rs atomic sites missing from the rule-4 scan"
+        );
+    }
+
+    #[test]
     fn workspace_scan_finds_the_known_protocol_sites() {
         let root = workspace_root();
         let sites = scan_ordering_sites(&root);

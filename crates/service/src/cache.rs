@@ -1,0 +1,278 @@
+//! The solve-result cache with single-flight coalescing.
+//!
+//! Keyed on the full solve identity — matrix fingerprint, rhs
+//! fingerprint, tolerance bits, scheme (k, block size, mode, seed) — so
+//! two requests share a slot only when their solves would be
+//! interchangeable. Two behaviours fall out of one small state machine:
+//!
+//! * **Cache hit**: a completed result is returned without solving.
+//! * **Single-flight**: while a solve for a key is in flight, identical
+//!   requests *wait on it* instead of duplicating the work; when the
+//!   leader publishes, every waiter gets the same result (marked
+//!   `coalesced`). If the leader fails or is cancelled without
+//!   publishing, the slot is cleared and one waiter promotes itself to
+//!   leader — a dead leader never wedges the key.
+//!
+//! Waiters poll their own [`CancelToken`] between condvar timeouts, so a
+//! coalesced request still honors its deadline and cancellation.
+
+use crate::wire::Mode;
+use abr_core::Fnv1a;
+use abr_gpu::{CancelCause, CancelToken};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The cached outcome of one converged solve.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Iterations the original solve took.
+    pub iterations: usize,
+    /// Final relative residual of the original solve.
+    pub final_residual: f64,
+}
+
+/// Builds the cache key from the solve identity components.
+#[allow(clippy::too_many_arguments)] // the key IS the full identity
+pub fn solve_key(
+    matrix_fp: u64,
+    rhs_fp: u64,
+    x0_fp: u64,
+    tol: f64,
+    local_iters: usize,
+    block: usize,
+    mode: Mode,
+    seed: u64,
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(matrix_fp)
+        .write_u64(rhs_fp)
+        .write_u64(x0_fp)
+        .write_f64(tol)
+        .write_usize(local_iters)
+        .write_usize(block)
+        .write_u64(match mode {
+            Mode::Sim => 0,
+            Mode::Pooled => 1,
+        })
+        // Scheduling seed matters only where it changes the result
+        // (deterministic sim); pooled runs are nondeterministic anyway.
+        .write_u64(match mode {
+            Mode::Sim => seed,
+            Mode::Pooled => 0,
+        });
+    h.finish()
+}
+
+enum Slot {
+    InFlight,
+    Ready(Arc<CachedSolve>),
+}
+
+/// What [`SolveCache::begin`] resolved to.
+pub enum Begin<'a> {
+    /// This request leads: solve, then [`LeadGuard::publish`] (or drop
+    /// the guard on failure to release waiters).
+    Lead(LeadGuard<'a>),
+    /// A result was available (immediately — `coalesced == false` — or
+    /// after waiting on an in-flight leader — `coalesced == true`).
+    Ready(Arc<CachedSolve>, bool),
+    /// The request's own token fired while waiting on a leader.
+    Aborted(CancelCause),
+}
+
+/// The single-flight solve-result cache.
+#[derive(Default)]
+pub struct SolveCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    ready: Condvar,
+}
+
+impl SolveCache {
+    /// A fresh, empty cache.
+    pub fn new() -> SolveCache {
+        SolveCache::default()
+    }
+
+    /// Number of completed entries (tests/metrics).
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Whether the cache holds no completed entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves a key: immediate hit, wait-and-coalesce, or leadership.
+    pub fn begin(&self, key: u64, cancel: Option<&CancelToken>) -> Begin<'_> {
+        let mut slots = self.slots.lock().unwrap();
+        let mut waited = false;
+        loop {
+            match slots.get(&key) {
+                None => {
+                    slots.insert(key, Slot::InFlight);
+                    return Begin::Lead(LeadGuard { cache: self, key, published: false });
+                }
+                Some(Slot::Ready(r)) => return Begin::Ready(Arc::clone(r), waited),
+                Some(Slot::InFlight) => {
+                    if let Some(why) = cancel.and_then(CancelToken::should_stop) {
+                        return Begin::Aborted(why);
+                    }
+                    waited = true;
+                    // Short slices so a waiter notices its own deadline
+                    // promptly even if the leader runs long.
+                    let (guard, _timeout) = self
+                        .ready
+                        .wait_timeout(slots, Duration::from_millis(20))
+                        .unwrap();
+                    slots = guard;
+                }
+            }
+        }
+    }
+}
+
+/// Leadership over one in-flight cache key. Publishing stores the result
+/// and wakes waiters; dropping without publishing clears the slot so a
+/// waiter can take over — either way the key cannot wedge.
+pub struct LeadGuard<'a> {
+    cache: &'a SolveCache,
+    key: u64,
+    published: bool,
+}
+
+impl LeadGuard<'_> {
+    /// Publishes the leader's result to every waiter and future hit.
+    pub fn publish(mut self, result: CachedSolve) {
+        let mut slots = self.cache.slots.lock().unwrap();
+        slots.insert(self.key, Slot::Ready(Arc::new(result)));
+        self.published = true;
+        drop(slots);
+        self.cache.ready.notify_all();
+    }
+}
+
+impl Drop for LeadGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        let mut slots = self.cache.slots.lock().unwrap();
+        slots.remove(&self.key);
+        drop(slots);
+        self.cache.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn sample() -> CachedSolve {
+        CachedSolve { x: vec![1.0, 2.0], iterations: 10, final_residual: 1e-10 }
+    }
+
+    #[test]
+    fn first_caller_leads_then_hits_are_served() {
+        let cache = SolveCache::new();
+        let lead = match cache.begin(7, None) {
+            Begin::Lead(g) => g,
+            _ => panic!("first caller must lead"),
+        };
+        lead.publish(sample());
+        match cache.begin(7, None) {
+            Begin::Ready(r, coalesced) => {
+                assert_eq!(r.x, vec![1.0, 2.0]);
+                assert!(!coalesced, "direct hit, no wait");
+            }
+            _ => panic!("second caller must hit"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn waiters_coalesce_onto_the_leader() {
+        let cache = SolveCache::new();
+        let lead = match cache.begin(3, None) {
+            Begin::Lead(g) => g,
+            _ => panic!(),
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match cache.begin(3, None) {
+                Begin::Ready(r, coalesced) => {
+                    assert!(coalesced, "waiter must be marked coalesced");
+                    r.iterations
+                }
+                _ => panic!("waiter must receive the leader's result"),
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            lead.publish(sample());
+            assert_eq!(waiter.join().unwrap(), 10);
+        });
+    }
+
+    #[test]
+    fn failed_leader_promotes_a_waiter() {
+        let cache = SolveCache::new();
+        let lead = match cache.begin(5, None) {
+            Begin::Lead(g) => g,
+            _ => panic!(),
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| match cache.begin(5, None) {
+                Begin::Lead(g) => {
+                    g.publish(sample());
+                    true
+                }
+                _ => false,
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            drop(lead); // leader dies without publishing
+            assert!(waiter.join().unwrap(), "waiter must inherit leadership");
+        });
+        assert_eq!(cache.len(), 1, "the promoted waiter's publish stuck");
+    }
+
+    #[test]
+    fn waiting_respects_the_requests_own_deadline() {
+        let cache = SolveCache::new();
+        let _lead = match cache.begin(9, None) {
+            Begin::Lead(g) => g,
+            _ => panic!(),
+        };
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_millis(40));
+        let t0 = Instant::now();
+        match cache.begin(9, Some(&token)) {
+            Begin::Aborted(CancelCause::DeadlineExceeded) => {}
+            _ => panic!("waiter must abort on its own deadline"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(2), "abort must be prompt");
+    }
+
+    #[test]
+    fn key_distinguishes_every_identity_component() {
+        let base = solve_key(1, 2, 3, 1e-9, 5, 16, Mode::Sim, 42);
+        assert_ne!(base, solve_key(9, 2, 3, 1e-9, 5, 16, Mode::Sim, 42));
+        assert_ne!(base, solve_key(1, 9, 3, 1e-9, 5, 16, Mode::Sim, 42));
+        assert_ne!(base, solve_key(1, 2, 9, 1e-9, 5, 16, Mode::Sim, 42));
+        assert_ne!(base, solve_key(1, 2, 3, 1e-8, 5, 16, Mode::Sim, 42));
+        assert_ne!(base, solve_key(1, 2, 3, 1e-9, 1, 16, Mode::Sim, 42));
+        assert_ne!(base, solve_key(1, 2, 3, 1e-9, 5, 32, Mode::Sim, 42));
+        assert_ne!(base, solve_key(1, 2, 3, 1e-9, 5, 16, Mode::Pooled, 42));
+        assert_ne!(base, solve_key(1, 2, 3, 1e-9, 5, 16, Mode::Sim, 43));
+        // Pooled runs are seed-insensitive by design.
+        assert_eq!(
+            solve_key(1, 2, 3, 1e-9, 5, 16, Mode::Pooled, 1),
+            solve_key(1, 2, 3, 1e-9, 5, 16, Mode::Pooled, 2),
+        );
+    }
+}
